@@ -1,0 +1,66 @@
+// Ablation — incremental checkpointing (Check-N-Run-style extension).
+//
+// Recommendation-style training touches only a fraction of the parameters
+// per step (embedding rows for the seen batch). The incremental extension
+// pulls only the dirty tensors over RDMA and copies the untouched ones
+// PMEM-locally from the previous version — trading NIC time (bounded by the
+// GPU's 5.8 GB/s BAR read) for DIMM-local bandwidth.
+//
+// This sweeps the dirty fraction for BERT and reports checkpoint time vs
+// the full pull.
+#include "bench_common.h"
+
+using namespace portus;
+
+namespace {
+
+Duration measure(double dirty_fraction) {
+  bench::World world;
+  auto& gpu = world.volta().gpu(0);
+  dnn::ModelZoo::Options opt;
+  opt.force_phantom = true;
+  auto model = dnn::ModelZoo::create(gpu, "bert", opt);
+  core::PortusClient client{*world.cluster, world.volta(), gpu, world.rendezvous};
+
+  // Dirty set: every k-th tensor, by count (sizes are layout-random, so the
+  // dirty-byte share tracks the fraction closely).
+  std::vector<std::uint32_t> dirty;
+  const auto n = static_cast<std::uint32_t>(model.layer_count());
+  const auto want = static_cast<std::uint32_t>(dirty_fraction * n + 0.5);
+  for (std::uint32_t i = 0; i < n && dirty.size() < want; i += std::max(1u, n / want)) {
+    dirty.push_back(i);
+  }
+
+  Duration out{0};
+  world.run([](sim::Engine& eng, core::PortusClient& c, dnn::Model& m,
+               std::vector<std::uint32_t> d, Duration& t) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    co_await c.checkpoint(m, 1);  // base version (full pull)
+    const Time t0 = eng.now();
+    co_await c.checkpoint_incremental(m, 2, std::move(d));
+    t = eng.now() - t0;
+  }(world.engine, client, model, std::move(dirty), out));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: incremental checkpointing (dirty-fraction sweep, BERT)",
+                      "extension in the spirit of Check-N-Run [15]; no paper numbers");
+
+  const auto full = measure(1.0);
+  std::cout << strf("{:<16}{:>12}{:>12}\n", "dirty fraction", "ckpt time", "vs full");
+  for (const double f : {1.0, 0.5, 0.2, 0.05, 0.01}) {
+    const auto t = measure(f);
+    std::cout << strf("{:<16}{:>12}{:>11.2f}x\n", strf("{:.0f}%", 100 * f),
+                      format_duration(t), bench::ratio(full, t));
+  }
+  std::cout << "\n(clean tensors are copied DIMM-locally from the previous DONE slot,\n"
+               " bounded by Optane write bandwidth instead of the 5.8 GB/s GPU BAR; the\n"
+               " larger win is that the NIC and the GPU stay free for other tenants.\n"
+               " Crash consistency is unchanged — copies land in the write slot before\n"
+               " the DONE flag flips.)\n";
+  return 0;
+}

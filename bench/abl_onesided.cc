@@ -1,0 +1,65 @@
+// Ablation — one-sided vs two-sided RDMA for checkpoint transport (SS V-D).
+//
+// The paper attributes part of Portus's win over BeeGFS-PMEM to its
+// one-sided GPU-RDMA reads versus BeeGFS's two-sided RPCoRDMA. This
+// ablation isolates exactly that: move one BERT checkpoint's bytes
+// (1282 MiB) from client GPU memory to server PMEM
+//   (a) as sequential one-sided READs (one per tensor, Portus-style), and
+//   (b) as 1 MiB request/response RPCs over SEND/RECV (BeeGFS-style,
+//       including per-chunk server handler dispatch).
+#include "bench_common.h"
+
+using namespace portus;
+
+int main() {
+  bench::print_header("Ablation: one-sided RDMA READ vs two-sided RPCoRDMA (BERT bytes)",
+                      "SS V-D: 'GPU-RDMA ... is a time-efficient one-sided protocol while "
+                      "BeeGFS-PMEM uses a more time-consuming two-sided protocol'");
+
+  const auto& spec = dnn::ModelZoo::spec("bert");
+
+  // (a) one-sided: a real Portus checkpoint, minus registration.
+  Duration one_sided{0};
+  {
+    bench::World world;
+    auto& gpu = world.volta().gpu(0);
+    dnn::ModelZoo::Options opt;
+    opt.force_phantom = true;
+    auto model = dnn::ModelZoo::create(gpu, "bert", opt);
+    core::PortusClient client{*world.cluster, world.volta(), gpu, world.rendezvous};
+    world.run([](sim::Engine& eng, core::PortusClient& c, dnn::Model& m,
+                 Duration& out) -> sim::Process {
+      co_await c.connect();
+      co_await c.register_model(m);
+      const Time t0 = eng.now();
+      co_await c.checkpoint(m, 1);
+      out = eng.now() - t0;
+    }(world.engine, client, model, one_sided));
+  }
+
+  // (b) two-sided: the same byte count as chunked RPCs into the fsdax path.
+  Duration two_sided{0};
+  {
+    bench::World world;
+    storage::BeeGfsMount mount{*world.cluster, world.volta(), *world.beegfs_server, "mnt0"};
+    world.run([](sim::Engine& eng, storage::BeeGfsMount& m, Bytes n,
+                 Duration& out) -> sim::Process {
+      const Time t0 = eng.now();
+      co_await m.write_file("/abl/bert.raw", n, nullptr);
+      out = eng.now() - t0;
+    }(world.engine, mount, spec.checkpoint_bytes, two_sided));
+  }
+
+  std::cout << strf("{:<34}{:>12}{:>14}\n", "transport", "time", "effective bw");
+  const auto bw = [&](Duration d) {
+    return Bandwidth::bytes_per_sec(static_cast<double>(spec.checkpoint_bytes) /
+                                    to_seconds(d));
+  };
+  std::cout << strf("{:<34}{:>12}{:>14}\n", "one-sided READ (Portus)",
+                    format_duration(one_sided), format_bandwidth(bw(one_sided)));
+  std::cout << strf("{:<34}{:>12}{:>14}\n", "two-sided RPCoRDMA (BeeGFS-style)",
+                    format_duration(two_sided), format_bandwidth(bw(two_sided)));
+  std::cout << strf("\none-sided advantage: {:.2f}x on the transport alone\n",
+                    bench::ratio(two_sided, one_sided));
+  return 0;
+}

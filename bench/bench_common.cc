@@ -1,0 +1,91 @@
+#include "bench_common.h"
+
+namespace portus::bench {
+
+std::vector<GptRank> make_gpt_ranks(World& world, const dnn::ModelSpec& spec,
+                                    bool with_portus, bool with_beegfs) {
+  dnn::MegatronPartitioner partitioner{/*tensor_parallel=*/8, /*pipeline_parallel=*/2};
+  const auto shards = partitioner.partition(spec);
+
+  std::vector<GptRank> ranks;
+  ranks.reserve(shards.size());
+  for (const auto& shard : shards) {
+    // PP stage 0 on client-ampere (8 GPUs), stage 1 on client-volta.
+    auto& node = shard.pp_rank == 0 ? world.ampere() : world.volta();
+    auto& gpu = node.gpu(static_cast<std::size_t>(shard.tp_rank) % node.gpu_count());
+
+    GptRank rank;
+    rank.shard = shard;
+    rank.gpu = &gpu;
+    rank.node = &node;
+    // Shards of the smaller GPT configs fall below the phantom threshold;
+    // force phantom payloads — these benches only measure time.
+    dnn::ModelZoo::Options opt;
+    opt.force_phantom = true;
+    rank.model =
+        std::make_unique<dnn::Model>(dnn::ModelZoo::create_from_spec(gpu, shard.spec, opt));
+    if (with_portus) {
+      rank.portus = std::make_unique<core::PortusClient>(*world.cluster, node, gpu,
+                                                         world.rendezvous);
+    }
+    if (with_beegfs) {
+      rank.beegfs = std::make_unique<storage::BeeGfsMount>(
+          *world.cluster, node, *world.beegfs_server, "mnt-" + shard.spec.name);
+    }
+    ranks.push_back(std::move(rank));
+  }
+  return ranks;
+}
+
+sim::Process register_all(std::vector<GptRank>& ranks) {
+  for (auto& rank : ranks) {
+    co_await rank.portus->connect();
+    co_await rank.portus->register_model(*rank.model);
+  }
+}
+
+namespace {
+
+sim::Process checkpoint_one(GptRank& rank, std::uint64_t iteration) {
+  co_await rank.portus->checkpoint(*rank.model, iteration);
+}
+
+sim::Process restore_one(GptRank& rank) { co_await rank.portus->restore(*rank.model); }
+
+sim::Process torch_save_one(GptRank& rank, std::uint64_t iteration) {
+  baselines::TorchSaveCheckpointer ckpt{*rank.node, *rank.gpu, *rank.beegfs};
+  co_await ckpt.checkpoint(*rank.model,
+                           strf("/gpt/{}.iter{}", rank.shard.spec.name, iteration));
+}
+
+template <typename Fn>
+sim::SubTask<Duration> fan_out(sim::Engine& engine, std::vector<GptRank>& ranks, Fn&& make) {
+  const Time t0 = engine.now();
+  std::vector<sim::Process> procs;
+  procs.reserve(ranks.size());
+  for (auto& rank : ranks) {
+    procs.push_back(engine.spawn(make(rank)));
+  }
+  for (auto& p : procs) co_await p.join();
+  co_return engine.now() - t0;
+}
+
+}  // namespace
+
+sim::SubTask<Duration> checkpoint_all(sim::Engine& engine, std::vector<GptRank>& ranks,
+                                      std::uint64_t iteration) {
+  co_return co_await fan_out(engine, ranks,
+                             [&](GptRank& r) { return checkpoint_one(r, iteration); });
+}
+
+sim::SubTask<Duration> restore_all(sim::Engine& engine, std::vector<GptRank>& ranks) {
+  co_return co_await fan_out(engine, ranks, [&](GptRank& r) { return restore_one(r); });
+}
+
+sim::SubTask<Duration> torch_save_all(sim::Engine& engine, std::vector<GptRank>& ranks,
+                                      std::uint64_t iteration) {
+  co_return co_await fan_out(engine, ranks,
+                             [&](GptRank& r) { return torch_save_one(r, iteration); });
+}
+
+}  // namespace portus::bench

@@ -1,0 +1,70 @@
+// Fig. 2 — Motivation: the share of total training time consumed by
+// checkpointing under existing frameworks (torch.save to BeeGFS-PMEM), at
+// the checkpoint frequencies CheckFreq would pick (1/83 iterations for VIT,
+// 1/100 for the GPT models).
+//
+// Paper: checkpointing weighs at least 24.9% of total time (VIT) and up to
+// 41% (GPT-22.4B).
+#include "bench_common.h"
+
+using namespace portus;
+
+namespace {
+
+Duration vit_checkpoint_time() {
+  bench::World world;
+  auto& gpu = world.volta().gpu(0);
+  dnn::ModelZoo::Options opt;
+  opt.force_phantom = true;
+  auto model = dnn::ModelZoo::create(gpu, "vit_l_32", opt);
+  storage::BeeGfsMount mount{*world.cluster, world.volta(), *world.beegfs_server, "mnt0"};
+  baselines::TorchSaveCheckpointer ckpt{world.volta(), gpu, mount};
+  Duration out{0};
+  world.run([](baselines::TorchSaveCheckpointer& c, dnn::Model& m,
+               Duration& t) -> sim::Process {
+    t = (co_await c.checkpoint(m, "/ckpt/vit.ptck")).total;
+  }(ckpt, model, out));
+  return out;
+}
+
+Duration gpt_checkpoint_time(const std::string& name) {
+  bench::World world;
+  auto ranks = bench::make_gpt_ranks(world, dnn::ModelZoo::spec(name), /*portus=*/false,
+                                     /*beegfs=*/true);
+  Duration out{0};
+  world.run([](bench::World& w, std::vector<bench::GptRank>& rs, Duration& t) -> sim::Process {
+    t = co_await bench::torch_save_all(w.engine, rs, 1);
+  }(world, ranks, out));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 2: checkpoint share of training time (traditional path)",
+                      "VIT >= 24.9%, GPT-22.4B up to 41% at CheckFreq frequencies");
+
+  struct Row {
+    const char* model;
+    std::uint64_t interval;
+    Duration ckpt;
+    double paper_pct;
+  };
+  Row rows[] = {
+      {"vit_l_32", 83, vit_checkpoint_time(), 24.9},
+      {"gpt-10b", 100, gpt_checkpoint_time("gpt-10b"), 33.0},  // mid bar of Fig. 2
+      {"gpt-22.4b", 100, gpt_checkpoint_time("gpt-22.4b"), 41.0},
+  };
+
+  std::cout << strf("{:<12}{:>10}{:>12}{:>12}{:>12}{:>10}\n", "model", "ckpt-every",
+                    "iter-time", "ckpt-time", "measured%", "paper%");
+  for (const auto& row : rows) {
+    const auto iter = dnn::ModelZoo::spec(row.model).iteration_time;
+    const double compute = to_seconds(iter) * static_cast<double>(row.interval);
+    const double share = 100.0 * to_seconds(row.ckpt) / (compute + to_seconds(row.ckpt));
+    std::cout << strf("{:<12}{:>10}{:>12}{:>12}{:>11.1f}%{:>9.1f}%\n", row.model,
+                      row.interval, format_duration(iter), format_duration(row.ckpt), share,
+                      row.paper_pct);
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Fig. 10 — Bandwidth and latency of the Portus datapath between device
+// pairs, as a function of message size.
+//
+// Reproduces the four read datapaths (a/b) and four write datapaths (c/d):
+//   {Server DRAM, Server PMEM} x {Client DRAM, Client GPU}
+// Key shapes from the paper:
+//   * reads of client GPU memory cap at ~5.8 GB/s (BAR, no prefetch),
+//     "30% less than DRAM";
+//   * writes are unaffected by BAR;
+//   * DRAM vs PMEM as the server-side target makes little difference
+//     (the network, not the memory, is the bottleneck);
+//   * peak bandwidth is reached once messages exceed ~512 KB.
+#include "bench_common.h"
+
+using namespace portus;
+
+namespace {
+
+enum class ClientMem { kDram, kGpu };
+enum class ServerMem { kDram, kPmem };
+
+struct PathResult {
+  double bandwidth_gbps = 0;
+  Duration latency{0};
+};
+
+// One one-sided op of `size` bytes between the chosen endpoints, initiated
+// by the server (checkpoint direction = READ, restore direction = WRITE).
+PathResult measure(ClientMem cmem, ServerMem smem, bool is_read, Bytes size) {
+  bench::World world;
+  auto& engine = world.engine;
+  auto& client_node = world.volta();
+  auto& server_node = world.server();
+
+  auto& server_pd = server_node.nic().alloc_pd("bench-pd-s");
+  auto& client_pd = client_node.nic().alloc_pd("bench-pd-c");
+  rdma::CompletionQueue scq{engine}, ccq{engine};
+  auto& sqp = world.cluster->fabric().create_qp(server_node.nic(), server_pd, scq);
+  auto& cqp = world.cluster->fabric().create_qp(client_node.nic(), client_pd, ccq);
+  world.cluster->fabric().connect(sqp, cqp);
+
+  // Phantom MRs carry the device caps/channels without moving bytes.
+  rdma::RegionDesc client_desc{.addr = 0x7000'0000'0000ull, .length = 2_GiB, .phantom = true};
+  if (cmem == ClientMem::kGpu) {
+    auto& gpu = client_node.gpu(0);
+    client_desc.read_cap = gpu.spec().bar_read_limit;
+    client_desc.write_cap = gpu.spec().peer_write_limit;
+    client_desc.device_channel_read = &gpu.pcie();
+    client_desc.device_channel_write = &gpu.pcie();
+  } else {
+    client_desc.device_channel_read = &client_node.dram_channel();
+    client_desc.device_channel_write = &client_node.dram_channel();
+  }
+  rdma::RegionDesc server_desc{.addr = 0x7100'0000'0000ull, .length = 2_GiB, .phantom = true};
+  if (smem == ServerMem::kPmem) {
+    const auto& perf = server_node.devdax().device().perf();
+    server_desc.read_cap = perf.read_bw;
+    server_desc.write_cap = perf.write_bw;
+    server_desc.device_channel_read = &server_node.devdax_read_channel();
+    server_desc.device_channel_write = &server_node.devdax_write_channel();
+  } else {
+    server_desc.device_channel_read = &server_node.dram_channel();
+    server_desc.device_channel_write = &server_node.dram_channel();
+  }
+  const auto& client_mr = client_pd.register_region(client_desc);
+  const auto& server_mr = server_pd.register_region(server_desc);
+
+  Duration elapsed{0};
+  world.run([](sim::Engine& eng, rdma::QueuePair& qp, const rdma::MemoryRegion& local,
+               const rdma::MemoryRegion& remote, bool read, Bytes n,
+               Duration& out) -> sim::Process {
+    const Time t0 = eng.now();
+    const auto wc = read ? co_await qp.read_sync(local.lkey, local.addr, n, remote.rkey,
+                                                 remote.addr)
+                         : co_await qp.write_sync(local.lkey, local.addr, n, remote.rkey,
+                                                  remote.addr);
+    PORTUS_CHECK(wc.status == rdma::WcStatus::kSuccess, "transfer failed");
+    out = eng.now() - t0;
+  }(engine, sqp, server_mr, client_mr, is_read, size, elapsed));
+
+  return PathResult{
+      .bandwidth_gbps = static_cast<double>(size) / to_seconds(elapsed) / 1e9,
+      .latency = elapsed,
+  };
+}
+
+void sweep(bool is_read) {
+  std::cout << (is_read ? "(a/b) READ: server pulls from client (checkpoint direction)\n"
+                        : "(c/d) WRITE: server pushes to client (restore direction)\n");
+  std::cout << strf("{:<10}", "size");
+  const char* paths[] = {"DRAM<-DRAM", "DRAM<-GPU", "PMEM<-DRAM", "PMEM<-GPU"};
+  const char* wpaths[] = {"DRAM->DRAM", "DRAM->GPU", "PMEM->DRAM", "PMEM->GPU"};
+  for (int p = 0; p < 4; ++p) std::cout << strf("{:>13}", is_read ? paths[p] : wpaths[p]);
+  std::cout << "   (GB/s)\n";
+
+  const Bytes sizes[] = {4_KiB, 64_KiB, 256_KiB, 512_KiB, 1_MiB, 16_MiB, 128_MiB, 1_GiB};
+  for (const auto size : sizes) {
+    std::cout << strf("{:<10}", format_bytes(size));
+    for (int p = 0; p < 4; ++p) {
+      const auto cmem = (p % 2 == 0) ? ClientMem::kDram : ClientMem::kGpu;
+      const auto smem = (p < 2) ? ServerMem::kDram : ServerMem::kPmem;
+      const auto r = measure(cmem, smem, is_read, size);
+      std::cout << strf("{:>13.2f}", r.bandwidth_gbps);
+    }
+    std::cout << "\n";
+  }
+
+  // Latency row (4 KiB message).
+  std::cout << strf("{:<10}", "lat(4KiB)");
+  for (int p = 0; p < 4; ++p) {
+    const auto cmem = (p % 2 == 0) ? ClientMem::kDram : ClientMem::kGpu;
+    const auto smem = (p < 2) ? ServerMem::kDram : ServerMem::kPmem;
+    const auto r = measure(cmem, smem, is_read, 4_KiB);
+    std::cout << strf("{:>13}", format_duration(r.latency));
+  }
+  std::cout << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 10: Portus datapath bandwidth & latency vs message size",
+      "GPU read caps at 5.8 GB/s (30% below DRAM ~8.3); writes unaffected by BAR; "
+      "DRAM vs PMEM target makes little difference; peak reached at >=512 KB");
+  sweep(/*is_read=*/true);
+  sweep(/*is_read=*/false);
+
+  // Spot checks the paper calls out.
+  const auto gpu_read = measure(ClientMem::kGpu, ServerMem::kPmem, true, 1_GiB);
+  const auto dram_read = measure(ClientMem::kDram, ServerMem::kPmem, true, 1_GiB);
+  const auto gpu_write = measure(ClientMem::kGpu, ServerMem::kPmem, false, 1_GiB);
+  std::cout << strf("GPU-read peak  : {:.2f} GB/s (paper: 5.8)\n", gpu_read.bandwidth_gbps);
+  std::cout << strf("DRAM-read peak : {:.2f} GB/s (paper: ~8.3, GPU is '30% less': {:.0f}%)\n",
+                    dram_read.bandwidth_gbps,
+                    100.0 * (1.0 - gpu_read.bandwidth_gbps / dram_read.bandwidth_gbps));
+  std::cout << strf("GPU-write peak : {:.2f} GB/s (paper: BAR does not affect writes)\n",
+                    gpu_write.bandwidth_gbps);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Distributed large-model checkpointing (SS V-E): GPT-22.4B partitioned
+// Megatron-style (TP=8 within each node, PP=2 across the two client nodes)
+// over 16 GPUs, every rank checkpointing its shard concurrently to one
+// Portus daemon. The 89.6 GB of checkpoint state moves as phantom payloads
+// (timing without bytes) — exactly how the Fig. 14 benchmark runs.
+//
+// Build & run:  ./build/examples/megatron_gpt
+#include <iostream>
+
+#include "core/client.h"
+#include "core/daemon/daemon.h"
+#include "dnn/model_zoo.h"
+#include "dnn/parallel.h"
+#include "net/cluster.h"
+
+using namespace portus;
+
+namespace {
+
+struct Rank {
+  dnn::ShardSpec shard;
+  std::unique_ptr<dnn::Model> model;
+  std::unique_ptr<core::PortusClient> client;
+};
+
+sim::Process run_rank(sim::Engine& eng, Rank& rank, Duration& ckpt, Duration& restore) {
+  co_await rank.client->connect();
+  co_await rank.client->register_model(*rank.model);
+
+  Time t0 = eng.now();
+  co_await rank.client->checkpoint(*rank.model, 1);
+  ckpt = eng.now() - t0;
+
+  t0 = eng.now();
+  co_await rank.client->restore(*rank.model);
+  restore = eng.now() - t0;
+}
+
+}  // namespace
+
+int main() {
+  sim::Engine engine;
+  auto cluster = net::Cluster::paper_testbed(engine);
+
+  core::QpRendezvous rendezvous;
+  core::PortusDaemon daemon{*cluster, cluster->node("server"), rendezvous,
+                            core::PortusDaemon::Config{.workers = 16}};
+  daemon.start();
+
+  const auto& full = dnn::ModelZoo::spec("gpt-22.4b");
+  dnn::MegatronPartitioner partitioner{/*tensor_parallel=*/8, /*pipeline_parallel=*/2};
+  const auto shards = partitioner.partition(full);
+
+  std::cout << "GPT-22.4B: " << format_bytes(full.checkpoint_bytes) << " across "
+            << shards.size() << " GPUs (TP=8 x PP=2, two client nodes)\n";
+
+  // PP stage 0 lives on client-volta... the paper uses two Ampere nodes; we
+  // only have one in the reference testbed, so stage 1 shares client-ampere
+  // GPUs with stage 0 mapped to client-volta's 4 GPUs doubled up. To stay
+  // faithful to "8 GPUs per node", put all TP ranks of stage p on node p.
+  std::vector<Rank> ranks;
+  std::vector<Duration> ckpt(shards.size()), restore(shards.size());
+  for (const auto& shard : shards) {
+    auto& node = cluster->node(shard.pp_rank == 0 ? "client-ampere" : "client-volta");
+    auto& gpu = node.gpu(static_cast<std::size_t>(shard.tp_rank) % node.gpu_count());
+    Rank rank;
+    rank.shard = shard;
+    dnn::ModelZoo::Options opt;
+    opt.force_phantom = true;  // timing-scale payloads
+    rank.model = std::make_unique<dnn::Model>(
+        dnn::ModelZoo::create_from_spec(gpu, shard.spec, opt));
+    rank.client = std::make_unique<core::PortusClient>(*cluster, node, gpu, rendezvous);
+    ranks.push_back(std::move(rank));
+  }
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    engine.spawn(run_rank(engine, ranks[i], ckpt[i], restore[i]));
+  }
+  const Time end = engine.run();
+
+  Duration max_ckpt{0}, max_restore{0};
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    max_ckpt = std::max(max_ckpt, ckpt[i]);
+    max_restore = std::max(max_restore, restore[i]);
+  }
+  const double agg_ckpt_bw = static_cast<double>(full.checkpoint_bytes) / to_seconds(max_ckpt);
+
+  std::cout << "\nper-rank shard: ~" << format_bytes(shards[0].spec.checkpoint_bytes)
+            << ", " << shards[0].spec.layers << " layers\n";
+  std::cout << "checkpoint (all 16 shards, concurrent): " << format_duration(max_ckpt)
+            << "  aggregate " << format_bandwidth(Bandwidth::bytes_per_sec(agg_ckpt_bw))
+            << "\n";
+  std::cout << "restore    (all 16 shards, concurrent): " << format_duration(max_restore)
+            << "\n";
+  std::cout << "paper reference (Fig. 14): ~15 s for the same dump via Portus vs >120 s "
+               "via torch.save to BeeGFS\n";
+  std::cout << "daemon pulled " << format_bytes(daemon.stats().bytes_pulled) << " across "
+            << daemon.stats().checkpoints << " shard checkpoints; sim ended at t="
+            << format_duration(end - Time{0}) << "\n";
+
+  engine.shutdown();
+  return 0;
+}

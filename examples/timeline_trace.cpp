@@ -1,0 +1,135 @@
+// Timeline tracing (Fig. 9, interactive edition): run the four checkpoint
+// policies back-to-back on one virtual timeline and export a Chrome
+// trace-event file. Open the output in https://ui.perfetto.dev (or
+// chrome://tracing) to see exactly where each policy stalls:
+//
+//   (a) pytorch      : every boundary blocks for copy+serialize+write
+//   (b) checkfreq    : snapshot overlaps, persist throttles the next trigger
+//   (c) portus-sync  : short blocking pulls
+//   (d) portus-async : stalls vanish
+//
+// Build & run:  ./build/examples/timeline_trace [out.json]
+#include <fstream>
+#include <iostream>
+
+#include "baselines/checkfreq.h"
+
+#include "common/strformat.h"
+#include "baselines/torch_save.h"
+#include "core/async_coordinator.h"
+#include "core/client.h"
+#include "core/daemon/daemon.h"
+#include "dnn/model_zoo.h"
+#include "dnn/training.h"
+#include "net/cluster.h"
+#include "storage/beegfs.h"
+
+using namespace portus;
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr std::uint64_t kIterations = 6;
+
+class TorchSaveHook final : public dnn::CheckpointHook {
+ public:
+  TorchSaveHook(net::Node& node, gpu::GpuDevice& gpu, dnn::Model& model,
+                storage::CheckpointStorage& fs, sim::Tracer& tracer)
+      : ckpt_{node, gpu, fs}, model_{model}, tracer_{tracer} {}
+  sim::SubTask<> on_iteration_end(std::uint64_t iter) override {
+    auto span = tracer_.span("torch.save", "pytorch");
+    co_await ckpt_.checkpoint(model_, strf("/pt/ckpt.iter{}", iter));
+  }
+  sim::SubTask<> before_update(std::uint64_t) override { co_return; }
+
+ private:
+  baselines::TorchSaveCheckpointer ckpt_;
+  dnn::Model& model_;
+  sim::Tracer& tracer_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "fig9_timeline.json";
+
+  sim::Engine engine;
+  sim::Tracer tracer{engine};
+  auto cluster = net::Cluster::paper_testbed(engine);
+  auto& node = cluster->node("client-volta");
+
+  core::QpRendezvous rendezvous;
+  core::PortusDaemon daemon{*cluster, cluster->node("server"), rendezvous,
+                            core::PortusDaemon::Config{.tracer = &tracer}};
+  daemon.start();
+  storage::BeeGfsServer beegfs{cluster->node("server")};
+
+  dnn::ModelZoo::Options opt;
+  opt.force_phantom = true;
+  dnn::TrainingConfig cfg{.iteration_time = 180ms, .update_fraction = 0.08,
+                          .busy_fraction = 1.0, .mutate_weights = false,
+                          .tracer = &tracer};
+
+  // The four policies run sequentially on one timeline, one trace row each.
+  engine.spawn([](sim::Engine& eng, sim::Tracer& tr, net::Cluster& cl, net::Node& n,
+                  core::QpRendezvous& rv, storage::BeeGfsServer& bg,
+                  dnn::TrainingConfig base_cfg, dnn::ModelZoo::Options mopt)
+                   -> sim::Process {
+    dnn::TrainingStats stats;
+
+    {  // (a) PyTorch built-in
+      auto model = dnn::ModelZoo::create(n.gpu(0), "vgg19_bn", mopt);
+      storage::BeeGfsMount mount{cl, n, bg, "mnt-pt"};
+      TorchSaveHook hook{n, n.gpu(0), model, mount, tr};
+      auto cfg = base_cfg;
+      cfg.trace_track = "pytorch";
+      co_await eng.spawn(dnn::train(eng, n.gpu(0), &model, cfg, kIterations, hook, stats))
+          .join();
+    }
+    {  // (b) CheckFreq
+      auto model = dnn::ModelZoo::create(n.gpu(1), "vgg19_bn", mopt);
+      storage::BeeGfsMount mount{cl, n, bg, "mnt-cf"};
+      baselines::CheckFreqHook hook{n, n.gpu(1), model, mount, 1, "/cf/ckpt"};
+      hook.set_tracer(&tr, "checkfreq");
+      auto cfg = base_cfg;
+      cfg.trace_track = "checkfreq";
+      co_await eng.spawn(dnn::train(eng, n.gpu(1), &model, cfg, kIterations, hook, stats))
+          .join();
+      co_await hook.drain();
+    }
+    {  // (c) Portus sync
+      auto model = dnn::ModelZoo::create(n.gpu(2), "vgg19_bn", mopt);
+      core::PortusClient client{cl, n, n.gpu(2), rv};
+      co_await client.connect();
+      co_await client.register_model(model);
+      core::PortusHook hook{client, model, 1, core::PortusHook::Mode::kSync};
+      auto cfg = base_cfg;
+      cfg.trace_track = "portus-sync";
+      co_await eng.spawn(dnn::train(eng, n.gpu(2), &model, cfg, kIterations, hook, stats))
+          .join();
+    }
+    {  // (d) Portus async
+      auto model = dnn::ModelZoo::create(n.gpu(3), "vgg19_bn", mopt);
+      core::PortusClient client{cl, n, n.gpu(3), rv};
+      co_await client.connect();
+      co_await client.register_model(model);
+      core::PortusHook hook{client, model, 1, core::PortusHook::Mode::kAsync};
+      auto cfg = base_cfg;
+      cfg.trace_track = "portus-async";
+      co_await eng.spawn(dnn::train(eng, n.gpu(3), &model, cfg, kIterations, hook, stats))
+          .join();
+      co_await hook.drain();
+    }
+  }(engine, tracer, *cluster, node, rendezvous, beegfs, cfg, opt));
+
+  engine.run();
+
+  std::ofstream out{out_path, std::ios::trunc};
+  tracer.write_chrome_json(out);
+  std::cout << "wrote " << tracer.event_count() << " trace events to " << out_path
+            << "\nopen it in https://ui.perfetto.dev — one row per policy, plus the "
+               "portusd row showing the daemon-side pulls\n";
+
+  engine.shutdown();
+  return 0;
+}

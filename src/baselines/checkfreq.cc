@@ -1,0 +1,135 @@
+#include "baselines/checkfreq.h"
+
+#include <cmath>
+
+#include "common/strformat.h"
+
+namespace portus::baselines {
+
+CheckFreqHook::CheckFreqHook(net::Node& client_node, gpu::GpuDevice& gpu, dnn::Model& model,
+                             storage::CheckpointStorage& storage, std::uint64_t interval,
+                             std::string path_prefix)
+    : node_{client_node},
+      gpu_{gpu},
+      model_{model},
+      storage_{storage},
+      interval_{interval},
+      path_prefix_{std::move(path_prefix)} {
+  PORTUS_CHECK_ARG(interval_ >= 1, "checkpoint interval must be >= 1");
+}
+
+std::uint64_t CheckFreqHook::tune_interval(Duration iteration_time, Duration checkpoint_cost,
+                                           double overhead_budget) {
+  PORTUS_CHECK_ARG(overhead_budget > 0.0, "overhead budget must be positive");
+  const double iters = to_seconds(checkpoint_cost) /
+                       (overhead_budget * to_seconds(iteration_time));
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(iters)));
+}
+
+sim::SubTask<std::uint64_t> CheckFreqHook::profile_interval(
+    net::Node& node, gpu::GpuDevice& gpu, dnn::Model& model,
+    storage::CheckpointStorage& storage, Duration iteration_time, double overhead_budget) {
+  auto& engine = gpu.engine();
+  const Time t0 = engine.now();
+
+  // One measured snapshot + persist, identical to the steady-state path.
+  gpu::CopyEngine copier{gpu};
+  for (auto& tensor : model.tensors()) {
+    co_await copier.dtoh_time_only(tensor.byte_size(), /*pinned=*/true);
+  }
+  const Bytes container = storage::CheckpointSerializer::container_size(model);
+  co_await engine.sleep(node.serialize_time(container));
+  co_await storage.write_file("/checkfreq-profile.tmp", container, nullptr);
+  const Duration cost = engine.now() - t0;
+  co_await storage.remove("/checkfreq-profile.tmp");
+
+  co_return tune_interval(iteration_time, cost, overhead_budget);
+}
+
+sim::SubTask<> CheckFreqHook::on_iteration_end(std::uint64_t iteration) {
+  if (iteration % interval_ != 0) co_return;
+  auto& engine = gpu_.engine();
+
+  // One staging buffer: a still-running persist blocks the next snapshot.
+  if (persist_in_flight_) {
+    ++stats_.throttled_triggers;
+    co_await persist_done_->wait();
+  }
+
+  snapshot_in_flight_ = true;
+  snapshot_done_ = std::make_unique<sim::SimEvent>(engine);
+  persist_in_flight_ = true;
+  persist_done_ = std::make_unique<sim::SimEvent>(engine);
+  engine.spawn(persist_async(iteration));
+}
+
+sim::SubTask<> CheckFreqHook::before_update(std::uint64_t) {
+  if (snapshot_in_flight_) {
+    co_await snapshot_done_->wait();
+  }
+}
+
+sim::SubTask<> CheckFreqHook::drain() {
+  if (persist_in_flight_) {
+    co_await persist_done_->wait();
+  }
+}
+
+sim::Process CheckFreqHook::persist_async(std::uint64_t iteration) {
+  auto& engine = gpu_.engine();
+
+  // Phase 1 — snapshot: pinned DtoH, overlapping the next iteration's F/B.
+  {
+    auto span = tracer_ != nullptr ? tracer_->span("snapshot", trace_track_)
+                                   : sim::Tracer::Span{};
+    const Time t0 = engine.now();
+    gpu::CopyEngine copier{gpu_};
+    storage::CheckpointFile file;
+    file.model_name = model_.name();
+    const bool phantom = model_.phantom();
+    for (auto& tensor : model_.tensors()) {
+      co_await copier.dtoh_time_only(tensor.byte_size(), /*pinned=*/true);
+      if (!phantom) {
+        storage::SerializedTensor st;
+        st.meta = tensor.meta();
+        st.data = tensor.buffer().download();
+        file.tensors.push_back(std::move(st));
+      }
+    }
+    staged_ = std::move(file);
+    stats_.snapshot_time += engine.now() - t0;
+    ++stats_.snapshots;
+    snapshot_in_flight_ = false;
+    snapshot_done_->set();
+  }
+
+  // Phase 2 — persist: serialize the snapshot and write it out, replacing
+  // the previous checkpoint file only after the new one is durable.
+  {
+    auto span = tracer_ != nullptr ? tracer_->span("persist", trace_track_)
+                                   : sim::Tracer::Span{};
+    const Time t0 = engine.now();
+    const bool phantom = staged_->tensors.empty() && model_.phantom();
+    const Bytes container_size = storage::CheckpointSerializer::container_size(model_);
+    co_await engine.sleep(node_.serialize_time(container_size));
+
+    std::vector<std::byte> container;
+    if (!phantom) container = storage::CheckpointSerializer::serialize(*staged_);
+    staged_.reset();
+
+    const std::string path = strf("{}.iter{}", path_prefix_, iteration);
+    co_await storage_.write_file(path, container_size, phantom ? nullptr : &container);
+    if (!previous_path_.empty()) {
+      co_await storage_.remove(previous_path_);
+    }
+    previous_path_ = path;
+    last_persisted_path_ = path;
+    last_persisted_iteration_ = iteration;
+    stats_.persist_time += engine.now() - t0;
+    ++stats_.persists;
+    persist_in_flight_ = false;
+    persist_done_->set();
+  }
+}
+
+}  // namespace portus::baselines

@@ -1,0 +1,104 @@
+// CheckFreq-style two-phase asynchronous checkpointing (the paper's
+// state-of-the-art baseline, ref [16]).
+//
+// CheckFreq splits a checkpoint into:
+//   snapshot():  pinned-copy of the weights GPU -> DRAM, overlapping the
+//                next iteration's forward/backward but required to finish
+//                before the next *update* mutates the weights;
+//   persist():   serialize the DRAM snapshot and write it to storage in the
+//                background.
+// A new snapshot cannot start while the previous persist is running (one
+// staging buffer), so slow storage throttles the effective checkpoint
+// cadence — the behaviour Fig. 15/16 exposes on GPT-22.4B.
+//
+// Also includes CheckFreq's profile-based frequency tuner: the smallest
+// interval whose steady-state overhead stays under a target fraction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "dnn/model.h"
+#include "dnn/training.h"
+#include "gpu/copy_engine.h"
+#include "net/node.h"
+#include "sim/sync.h"
+#include "sim/trace.h"
+#include "storage/filesystem.h"
+#include "storage/serializer.h"
+
+namespace portus::baselines {
+
+class CheckFreqHook final : public dnn::CheckpointHook {
+ public:
+  struct Stats {
+    std::uint64_t snapshots = 0;
+    std::uint64_t persists = 0;
+    Duration snapshot_time{0};
+    Duration persist_time{0};
+    std::uint64_t throttled_triggers = 0;  // snapshot delayed by running persist
+  };
+
+  CheckFreqHook(net::Node& client_node, gpu::GpuDevice& gpu, dnn::Model& model,
+                storage::CheckpointStorage& storage, std::uint64_t interval,
+                std::string path_prefix);
+
+  // dnn::CheckpointHook
+  sim::SubTask<> on_iteration_end(std::uint64_t iteration) override;
+  sim::SubTask<> before_update(std::uint64_t iteration) override;
+
+  // Block until any in-flight persist finishes (end-of-run barrier).
+  sim::SubTask<> drain();
+
+  // Optional timeline tracing of snapshot/persist phases.
+  void set_tracer(sim::Tracer* tracer, std::string track) {
+    tracer_ = tracer;
+    trace_track_ = std::move(track);
+  }
+
+  const Stats& stats() const { return stats_; }
+  std::uint64_t interval() const { return interval_; }
+  const std::string& last_persisted_path() const { return last_persisted_path_; }
+  // Iteration whose checkpoint is durable on storage (restore point).
+  std::uint64_t last_persisted_iteration() const { return last_persisted_iteration_; }
+
+  // CheckFreq's tuner: smallest interval (in iterations) whose checkpoint
+  // cost amortizes below `overhead_budget` of training time.
+  static std::uint64_t tune_interval(Duration iteration_time, Duration checkpoint_cost,
+                                     double overhead_budget = 0.035);
+
+  // CheckFreq's profiling phase: measure one snapshot+persist of `model`
+  // against `storage` (virtual time), then pick the interval. This is what
+  // the real system runs during its first few iterations.
+  static sim::SubTask<std::uint64_t> profile_interval(net::Node& node, gpu::GpuDevice& gpu,
+                                                      dnn::Model& model,
+                                                      storage::CheckpointStorage& storage,
+                                                      Duration iteration_time,
+                                                      double overhead_budget = 0.035);
+
+ private:
+  sim::Process persist_async(std::uint64_t iteration);
+
+  net::Node& node_;
+  gpu::GpuDevice& gpu_;
+  dnn::Model& model_;
+  storage::CheckpointStorage& storage_;
+  std::uint64_t interval_;
+  std::string path_prefix_;
+
+  bool snapshot_in_flight_ = false;   // must complete before next update
+  std::unique_ptr<sim::SimEvent> snapshot_done_;
+  bool persist_in_flight_ = false;
+  std::unique_ptr<sim::SimEvent> persist_done_;
+  std::string last_persisted_path_;
+  std::uint64_t last_persisted_iteration_ = 0;
+  std::string previous_path_;
+  // Host-side snapshot of real contents, reused by the persist phase.
+  std::optional<storage::CheckpointFile> staged_;
+  sim::Tracer* tracer_ = nullptr;
+  std::string trace_track_;
+  Stats stats_;
+};
+
+}  // namespace portus::baselines

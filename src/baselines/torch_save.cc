@@ -1,0 +1,108 @@
+#include "baselines/torch_save.h"
+
+namespace portus::baselines {
+
+sim::SubTask<TorchSaveCheckpointer::CheckpointTimings> TorchSaveCheckpointer::checkpoint(
+    dnn::Model& model, std::string path) {
+  auto& engine = gpu_.engine();
+  CheckpointTimings t;
+  const Time start = engine.now();
+
+  // (1) GPU -> main memory, pageable staging buffers, tensor by tensor.
+  gpu::CopyEngine copier{gpu_};
+  storage::CheckpointFile file;
+  file.model_name = model.name();
+  const bool phantom = model.phantom();
+  {
+    const Time t0 = engine.now();
+    for (auto& tensor : model.tensors()) {
+      co_await copier.dtoh_time_only(tensor.byte_size(), /*pinned=*/false);
+      if (!phantom) {
+        storage::SerializedTensor st;
+        st.meta = tensor.meta();
+        st.data = tensor.buffer().download();
+        file.tensors.push_back(std::move(st));
+      }
+    }
+    t.dtoh = engine.now() - t0;
+  }
+
+  // (2) Serialization: metadata headers + packing into one container.
+  std::vector<std::byte> container;
+  Bytes container_size = 0;
+  {
+    const Time t0 = engine.now();
+    container_size = storage::CheckpointSerializer::container_size(model);
+    co_await engine.sleep(node_.serialize_time(container_size));
+    if (!phantom) {
+      container = storage::CheckpointSerializer::serialize(file);
+      PORTUS_CHECK(container.size() == container_size,
+                   "serializer size model out of sync with format");
+    }
+    t.serialize = engine.now() - t0;
+  }
+
+  // (3) Kernel crossing into the target filesystem.
+  {
+    const Time t0 = engine.now();
+    co_await storage_.write_file(std::move(path), container_size,
+                                 phantom ? nullptr : &container);
+    t.fs_write = engine.now() - t0;
+  }
+
+  t.total = engine.now() - start;
+  co_return t;
+}
+
+sim::SubTask<TorchSaveCheckpointer::RestoreTimings> TorchSaveCheckpointer::restore(
+    dnn::Model& model, std::string path, bool gpu_direct) {
+  auto& engine = gpu_.engine();
+  RestoreTimings t;
+  const Time start = engine.now();
+
+  std::vector<std::byte> container;
+  Bytes size = 0;
+  {
+    const Time t0 = engine.now();
+    if (gpu_direct) {
+      size = co_await storage_.read_file_time_only(path, /*gpu_direct=*/true);
+    } else {
+      container = co_await storage_.read_file(path);
+      size = storage_.file_size(path);
+    }
+    t.fs_read = engine.now() - t0;
+  }
+
+  {
+    const Time t0 = engine.now();
+    co_await engine.sleep(node_.deserialize_time(size));
+    // Per-layer module reconstruction (SS III-F).
+    co_await engine.sleep(node_.spec().reconstruct_per_tensor *
+                          static_cast<int>(model.layer_count()));
+    if (!container.empty()) {
+      const auto file = storage::CheckpointSerializer::deserialize(container);
+      PORTUS_CHECK(file.model_name == model.name(), "restoring the wrong model");
+      PORTUS_CHECK(file.tensors.size() == model.layer_count(),
+                   "checkpoint tensor count does not match the model");
+      for (std::size_t i = 0; i < file.tensors.size(); ++i) {
+        model.tensor(i).buffer().upload(file.tensors[i].data);
+      }
+    }
+    t.deserialize = engine.now() - t0;
+  }
+
+  if (!gpu_direct) {
+    // Main memory -> GPU for every tensor.
+    const Time t0 = engine.now();
+    gpu::CopyEngine copier{gpu_};
+    for (auto& tensor : model.tensors()) {
+      co_await copier.htod_time_only(tensor.byte_size(), /*pinned=*/true);
+    }
+    t.htod = engine.now() - t0;
+  }
+
+  t.total = engine.now() - start;
+  co_return t;
+}
+
+}  // namespace portus::baselines

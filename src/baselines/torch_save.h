@@ -1,0 +1,59 @@
+// torch.save()-style checkpointing — the traditional datapath of Fig. 3:
+//
+//   (1) cudaMemcpy DtoH (pageable)  -> main memory        [Table I: 15.5%]
+//   (2) serialize tensors + headers into a container file [Table I: 41.7%]
+//   (3) syscall write into the target filesystem          [Table I: 30.0% +
+//       12.8% inside BeeGFS/ext4]
+//
+// restore() is the inverse; with GPUDirect Storage enabled the file bytes
+// flow straight to GPU memory, but the structured-file deserialization cost
+// remains (SS III-F).
+#pragma once
+
+#include <string>
+
+#include "dnn/model.h"
+#include "gpu/copy_engine.h"
+#include "net/node.h"
+#include "sim/task.h"
+#include "storage/filesystem.h"
+#include "storage/serializer.h"
+
+namespace portus::baselines {
+
+class TorchSaveCheckpointer {
+ public:
+  struct CheckpointTimings {
+    Duration dtoh{0};
+    Duration serialize{0};
+    Duration fs_write{0};
+    Duration total{0};
+  };
+  struct RestoreTimings {
+    Duration fs_read{0};
+    Duration deserialize{0};
+    Duration htod{0};
+    Duration total{0};
+  };
+
+  TorchSaveCheckpointer(net::Node& client_node, gpu::GpuDevice& gpu,
+                        storage::CheckpointStorage& storage)
+      : node_{client_node}, gpu_{gpu}, storage_{storage} {}
+
+  // Synchronous checkpoint of the full model state to `path`.
+  sim::SubTask<CheckpointTimings> checkpoint(dnn::Model& model, std::string path);
+
+  // Restore `model`'s weights from `path`. When `gpu_direct` is set, file
+  // bytes bypass main memory (GDS) — only valid for timing runs or real
+  // contents smaller than the staging the serializer needs; the functional
+  // path (gpu_direct = false) round-trips and verifies real bytes.
+  sim::SubTask<RestoreTimings> restore(dnn::Model& model, std::string path,
+                                       bool gpu_direct = false);
+
+ private:
+  net::Node& node_;
+  gpu::GpuDevice& gpu_;
+  storage::CheckpointStorage& storage_;
+};
+
+}  // namespace portus::baselines

@@ -1,0 +1,122 @@
+#include "common/binary_io.h"
+
+#include <cstring>
+
+namespace portus {
+
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::byte>& buf, T v) {
+  // Build is little-endian (x86-64 / aarch64 Linux); memcpy of the native
+  // representation is the LE encoding.
+  const auto old = buf.size();
+  buf.resize(old + sizeof(T));
+  std::memcpy(buf.data() + old, &v, sizeof(T));
+}
+
+}  // namespace
+
+void BinaryWriter::u8(std::uint8_t v) { append_le(buf_, v); }
+void BinaryWriter::u16(std::uint16_t v) { append_le(buf_, v); }
+void BinaryWriter::u32(std::uint32_t v) { append_le(buf_, v); }
+void BinaryWriter::u64(std::uint64_t v) { append_le(buf_, v); }
+void BinaryWriter::i64(std::int64_t v) { append_le(buf_, v); }
+void BinaryWriter::f64(double v) { append_le(buf_, v); }
+
+void BinaryWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v.data(), v.size());
+}
+
+void BinaryWriter::bytes(std::span<const std::byte> v) {
+  u64(v.size());
+  raw(v);
+}
+
+void BinaryWriter::raw(std::span<const std::byte> v) { raw(v.data(), v.size()); }
+
+void BinaryWriter::raw(const void* data, std::size_t n) {
+  const auto old = buf_.size();
+  buf_.resize(old + n);
+  if (n > 0) std::memcpy(buf_.data() + old, data, n);
+}
+
+namespace {
+
+template <typename T>
+T read_le(std::span<const std::byte> data, std::size_t pos) {
+  T v;
+  std::memcpy(&v, data.data() + pos, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+std::uint8_t BinaryReader::u8() {
+  require(1);
+  auto v = read_le<std::uint8_t>(data_, pos_);
+  pos_ += 1;
+  return v;
+}
+
+std::uint16_t BinaryReader::u16() {
+  require(2);
+  auto v = read_le<std::uint16_t>(data_, pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t BinaryReader::u32() {
+  require(4);
+  auto v = read_le<std::uint32_t>(data_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  require(8);
+  auto v = read_le<std::uint64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t BinaryReader::i64() {
+  require(8);
+  auto v = read_le<std::int64_t>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+double BinaryReader::f64() {
+  require(8);
+  auto v = read_le<double>(data_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::string BinaryReader::str() {
+  const auto n = u32();
+  require(n);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::byte> BinaryReader::bytes() {
+  const auto n = u64();
+  require(n);
+  std::vector<std::byte> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::span<const std::byte> BinaryReader::raw(std::size_t n) {
+  require(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+}  // namespace portus

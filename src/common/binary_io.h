@@ -1,0 +1,69 @@
+// Little-endian binary reader/writer used by the control-plane protocol and
+// the portable checkpoint container format. Reads validate bounds and throw
+// portus::Corruption on truncation, so malformed packets never fault.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+
+namespace portus {
+
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  // Length-prefixed (u32) string.
+  void str(std::string_view v);
+  // Length-prefixed (u64) raw bytes.
+  void bytes(std::span<const std::byte> v);
+  // Raw bytes with no length prefix (caller knows the framing).
+  void raw(std::span<const std::byte> v);
+  void raw(const void* data, std::size_t n);
+
+  const std::vector<std::byte>& buffer() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::byte> data) : data_{data} {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  std::vector<std::byte> bytes();
+  // View of the next `n` raw bytes; advances the cursor.
+  std::span<const std::byte> raw(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return remaining() == 0; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) throw Corruption("binary read past end of buffer");
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace portus

@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected). Used for end-to-end checkpoint
+// integrity: every tensor payload and serialized container section carries a
+// CRC so that tests can assert bit-exact restoration and torn writes are
+// detected during recovery.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace portus {
+
+class Crc32 {
+ public:
+  // Incremental interface.
+  Crc32& update(std::span<const std::byte> data);
+  Crc32& update(const void* data, std::size_t n);
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+  // One-shot convenience.
+  static std::uint32_t of(std::span<const std::byte> data);
+  static std::uint32_t of(const void* data, std::size_t n);
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace portus

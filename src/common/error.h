@@ -1,0 +1,65 @@
+// Error types. Per the project style (C++ Core Guidelines I.10/E.2) failures
+// to perform a required task are reported with exceptions; recoverable
+// "expected" outcomes use std::optional / status enums at the call site.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace portus {
+
+// Root of all Portus errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A caller violated an interface precondition (bad handle, out-of-range
+// access, protocol misuse). These indicate bugs in the calling code.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+// A resource (PMEM space, GPU memory, queue slots) is exhausted.
+class ResourceExhausted : public Error {
+ public:
+  using Error::Error;
+};
+
+// A looked-up entity (model, file, memory region) does not exist.
+class NotFound : public Error {
+ public:
+  using Error::Error;
+};
+
+// Data failed an integrity check (CRC mismatch, bad magic, torn record).
+class Corruption : public Error {
+ public:
+  using Error::Error;
+};
+
+// An RDMA-level protection fault: rkey mismatch, access-permission
+// violation, or out-of-bounds remote access.
+class ProtectionFault : public Error {
+ public:
+  using Error::Error;
+};
+
+// The simulated peer disconnected or the channel was closed.
+class Disconnected : public Error {
+ public:
+  using Error::Error;
+};
+
+#define PORTUS_CHECK(cond, msg)                       \
+  do {                                                \
+    if (!(cond)) throw ::portus::Error(msg);          \
+  } while (0)
+
+#define PORTUS_CHECK_ARG(cond, msg)                     \
+  do {                                                  \
+    if (!(cond)) throw ::portus::InvalidArgument(msg);  \
+  } while (0)
+
+}  // namespace portus

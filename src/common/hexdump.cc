@@ -1,0 +1,33 @@
+#include "common/hexdump.h"
+
+#include "common/strformat.h"
+
+namespace portus {
+
+std::string hexdump(std::span<const std::byte> data, std::size_t max_bytes) {
+  const std::size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  std::string out;
+  for (std::size_t row = 0; row < n; row += 16) {
+    out += strf("{:08x}  ", row);
+    for (std::size_t col = 0; col < 16; ++col) {
+      if (row + col < n) {
+        out += strf("{:02x} ", static_cast<unsigned>(data[row + col]));
+      } else {
+        out += "   ";
+      }
+      if (col == 7) out += ' ';
+    }
+    out += " |";
+    for (std::size_t col = 0; col < 16 && row + col < n; ++col) {
+      const auto c = static_cast<unsigned char>(data[row + col]);
+      out += (c >= 0x20 && c < 0x7F) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  if (n < data.size()) {
+    out += strf("... ({} more bytes)\n", data.size() - n);
+  }
+  return out;
+}
+
+}  // namespace portus

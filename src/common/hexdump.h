@@ -1,0 +1,14 @@
+// Small debugging helper: hex-dump a byte span (used by protocol tests and
+// portusctl's inspection output).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace portus {
+
+// Classic 16-bytes-per-line hexdump with ASCII gutter.
+std::string hexdump(std::span<const std::byte> data, std::size_t max_bytes = 256);
+
+}  // namespace portus

@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace portus {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("PORTUS_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string v{env};
+  if (v == "trace") return LogLevel::kTrace;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+}  // namespace
+
+Logger::Logger() : level_{level_from_env()} {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  std::lock_guard lock{mu_};
+  std::cerr << '[' << to_string(level) << "] [" << component << "] " << message << '\n';
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace portus

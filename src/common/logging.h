@@ -1,0 +1,48 @@
+// Minimal leveled logger. Output is intentionally plain (no timestamps by
+// default) so that deterministic-simulation test logs stay diffable; the
+// simulation clock is injected by callers that want virtual timestamps.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/strformat.h"
+
+namespace portus {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::mutex mu_;
+};
+
+const char* to_string(LogLevel level);
+
+template <typename... Args>
+void log_at(LogLevel level, std::string_view component, std::string_view fmt,
+            const Args&... args) {
+  Logger& logger = Logger::instance();
+  if (level < logger.level()) return;
+  logger.log(level, component, strf(fmt, args...));
+}
+
+#define PLOG_TRACE(component, ...) ::portus::log_at(::portus::LogLevel::kTrace, component, __VA_ARGS__)
+#define PLOG_DEBUG(component, ...) ::portus::log_at(::portus::LogLevel::kDebug, component, __VA_ARGS__)
+#define PLOG_INFO(component, ...) ::portus::log_at(::portus::LogLevel::kInfo, component, __VA_ARGS__)
+#define PLOG_WARN(component, ...) ::portus::log_at(::portus::LogLevel::kWarn, component, __VA_ARGS__)
+#define PLOG_ERROR(component, ...) ::portus::log_at(::portus::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace portus

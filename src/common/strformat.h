@@ -1,0 +1,209 @@
+// Minimal std::format-style string formatting for toolchains without
+// <format> (libstdc++ 12). Supports the subset used in this codebase:
+//
+//   strf("{} of {}", 3, "7")          -> "3 of 7"
+//   strf("{:.3f}s", 1.25)             -> "1.250s"
+//   strf("{:08x}", 0xbeef)            -> "0000beef"
+//   strf("{{literal}}")               -> "{literal}"
+//
+// Specs are translated to printf conversions: [0][width][.precision][xXdf g e].
+// Unknown argument types must provide operator<< (falls back to ostringstream).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "common/error.h"
+
+namespace portus {
+
+namespace detail {
+
+// std::format-style alignment prefix: '<' left, '>' right, '^' center.
+struct Align {
+  char kind = 0;       // 0 = none
+  std::size_t width = 0;
+  std::string_view rest;  // spec with the alignment/width stripped
+};
+
+inline Align parse_align(std::string_view spec) {
+  Align a;
+  a.rest = spec;
+  if (spec.empty()) return a;
+  std::size_t pos = 0;
+  if (spec[0] == '<' || spec[0] == '>' || spec[0] == '^') {
+    a.kind = spec[0];
+    pos = 1;
+  }
+  std::size_t width = 0;
+  const std::size_t width_start = pos;
+  while (pos < spec.size() && spec[pos] >= '0' && spec[pos] <= '9') {
+    // A leading '0' without an explicit align is zero-padding, not width.
+    if (a.kind == 0 && pos == width_start && spec[pos] == '0') return a;
+    width = width * 10 + static_cast<std::size_t>(spec[pos] - '0');
+    ++pos;
+  }
+  if (a.kind == 0 && pos == width_start) return a;  // no width digits
+  if (a.kind == 0) a.kind = '>';                    // bare width: right-align
+  a.width = width;
+  a.rest = spec.substr(pos);
+  return a;
+}
+
+inline void pad_into(std::string& out, std::string_view text, char align,
+                     std::size_t width) {
+  if (align == 0 || text.size() >= width) {
+    out.append(text);
+    return;
+  }
+  const std::size_t pad = width - text.size();
+  if (align == '<') {
+    out.append(text);
+    out.append(pad, ' ');
+  } else if (align == '>') {
+    out.append(pad, ' ');
+    out.append(text);
+  } else {  // '^'
+    out.append(pad / 2, ' ');
+    out.append(text);
+    out.append(pad - pad / 2, ' ');
+  }
+}
+
+inline std::string printf_spec(std::string_view spec, char default_conv,
+                               std::string_view length_mod) {
+  // spec is the piece after ':' e.g. "08x", ".3f", "", "6.2f"
+  std::string out = "%";
+  char conv = default_conv;
+  if (!spec.empty()) {
+    const char last = spec.back();
+    if (last == 'x' || last == 'X' || last == 'o' || last == 'd' || last == 'f' ||
+        last == 'g' || last == 'e' || last == 'u') {
+      conv = last;
+      spec.remove_suffix(1);
+    }
+    out.append(spec);
+  }
+  out.append(length_mod);
+  out.push_back(conv);
+  return out;
+}
+
+inline void append_formatted(std::string& out, std::string_view spec, double v) {
+  const auto align = parse_align(spec);
+  char buf[64];
+  const auto fmt = printf_spec(align.rest, 'g', "");
+  std::snprintf(buf, sizeof buf, fmt.c_str(), v);
+  pad_into(out, buf, align.kind, align.width);
+}
+
+template <typename T>
+  requires std::is_integral_v<T> || std::is_enum_v<T>
+void append_formatted(std::string& out, std::string_view spec, T v) {
+  char buf[64];
+  if (!spec.empty() && (spec.back() == 'f' || spec.back() == 'g' || spec.back() == 'e')) {
+    append_formatted(out, spec, static_cast<double>(v));
+    return;
+  }
+  const auto align = parse_align(spec);
+  if constexpr (std::is_same_v<T, bool>) {
+    pad_into(out, v ? "true" : "false", align.kind, align.width);
+  } else if constexpr (std::is_signed_v<T>) {
+    const auto fmt = printf_spec(align.rest, 'd', "ll");
+    std::snprintf(buf, sizeof buf, fmt.c_str(), static_cast<long long>(v));
+    pad_into(out, buf, align.kind, align.width);
+  } else {
+    const auto fmt = printf_spec(align.rest, 'u', "ll");
+    std::snprintf(buf, sizeof buf, fmt.c_str(), static_cast<unsigned long long>(v));
+    pad_into(out, buf, align.kind, align.width);
+  }
+}
+
+inline void append_formatted(std::string& out, std::string_view spec, std::string_view v) {
+  const auto align = parse_align(spec);
+  pad_into(out, v, align.kind == 0 ? '<' : align.kind, align.width);
+}
+inline void append_formatted(std::string& out, std::string_view spec, const std::string& v) {
+  append_formatted(out, spec, std::string_view{v});
+}
+inline void append_formatted(std::string& out, std::string_view spec, const char* v) {
+  append_formatted(out, spec, std::string_view{v});
+}
+inline void append_formatted(std::string& out, std::string_view spec, char v) {
+  (void)spec;
+  out.push_back(v);
+}
+inline void append_formatted(std::string& out, std::string_view spec, float v) {
+  append_formatted(out, spec, static_cast<double>(v));
+}
+
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& t) { os << t; };
+
+template <typename T>
+  requires(!std::is_arithmetic_v<T> && !std::is_enum_v<T> &&
+           !std::is_convertible_v<T, std::string_view> && Streamable<T>)
+void append_formatted(std::string& out, std::string_view /*spec*/, const T& v) {
+  std::ostringstream os;
+  os << v;
+  out += os.str();
+}
+
+}  // namespace detail
+
+template <typename... Args>
+std::string strf(std::string_view fmt, const Args&... args) {
+  std::string out;
+  out.reserve(fmt.size() + sizeof...(Args) * 8);
+
+  // Type-erase the arguments so the parser below can index them.
+  using AppendFn = void (*)(std::string&, std::string_view, const void*);
+  struct Arg {
+    const void* p;
+    AppendFn fn;
+  };
+  const Arg arg_table[] = {Arg{static_cast<const void*>(&args),
+                               [](std::string& o, std::string_view s, const void* p) {
+                                 detail::append_formatted(o, s,
+                                                          *static_cast<const Args*>(p));
+                               }}...,
+                           Arg{nullptr, nullptr}};  // sentinel for zero args
+  const std::size_t nargs = sizeof...(Args);
+
+  std::size_t next_arg = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c == '{') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+        out.push_back('{');
+        ++i;
+        continue;
+      }
+      const auto close = fmt.find('}', i);
+      PORTUS_CHECK_ARG(close != std::string_view::npos, "strf: unterminated '{'");
+      std::string_view inner = fmt.substr(i + 1, close - i - 1);
+      std::string_view spec;
+      if (const auto colon = inner.find(':'); colon != std::string_view::npos) {
+        spec = inner.substr(colon + 1);
+        inner = inner.substr(0, colon);
+      }
+      PORTUS_CHECK_ARG(inner.empty(), "strf: only automatic argument indexing supported");
+      PORTUS_CHECK_ARG(next_arg < nargs, "strf: not enough arguments for format string");
+      arg_table[next_arg].fn(out, spec, arg_table[next_arg].p);
+      ++next_arg;
+      i = close;
+    } else if (c == '}') {
+      if (i + 1 < fmt.size() && fmt[i + 1] == '}') ++i;
+      out.push_back('}');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace portus

@@ -1,0 +1,28 @@
+#include "common/units.h"
+
+#include "common/strformat.h"
+
+namespace portus {
+
+std::string format_bytes(Bytes n) {
+  constexpr double kKiB = 1024.0;
+  const auto v = static_cast<double>(n);
+  if (v < kKiB) return strf("{}B", n);
+  if (v < kKiB * kKiB) return strf("{:.1f}KiB", v / kKiB);
+  if (v < kKiB * kKiB * kKiB) return strf("{:.1f}MiB", v / (kKiB * kKiB));
+  return strf("{:.2f}GiB", v / (kKiB * kKiB * kKiB));
+}
+
+std::string format_duration(Duration d) {
+  const double s = to_seconds(d);
+  if (s >= 1.0) return strf("{:.3f}s", s);
+  if (s >= 1e-3) return strf("{:.3f}ms", s * 1e3);
+  if (s >= 1e-6) return strf("{:.3f}us", s * 1e6);
+  return strf("{}ns", d.count());
+}
+
+std::string format_bandwidth(Bandwidth bw) {
+  return strf("{:.2f}GB/s", bw.gb_per_second());
+}
+
+}  // namespace portus

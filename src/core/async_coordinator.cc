@@ -1,0 +1,58 @@
+#include "core/async_coordinator.h"
+
+namespace portus::core {
+
+PortusHook::PortusHook(PortusClient& client, dnn::Model& model, std::uint64_t interval,
+                       Mode mode)
+    : client_{client}, model_{model}, interval_{interval}, mode_{mode} {
+  PORTUS_CHECK_ARG(interval_ >= 1, "checkpoint interval must be >= 1");
+}
+
+sim::SubTask<> PortusHook::on_iteration_end(std::uint64_t iteration) {
+  if (iteration % interval_ != 0) co_return;
+  ++stats_.triggered;
+
+  if (mode_ == Mode::kSync) {
+    const Time t0 = model_.gpu().engine().now();
+    co_await client_.checkpoint(model_, iteration);
+    stats_.pull_time += model_.gpu().engine().now() - t0;
+    ++stats_.completed;
+    stats_.last_committed_iteration = iteration;
+    co_return;
+  }
+
+  // Async: at most one outstanding pull (one ACTIVE slot); wait for the
+  // previous one before triggering the next.
+  if (pull_in_flight_) {
+    co_await pull_done_->wait();
+  }
+  pull_in_flight_ = true;
+  pull_done_ = std::make_unique<sim::SimEvent>(model_.gpu().engine());
+  model_.gpu().engine().spawn(pull_async(iteration));
+}
+
+sim::SubTask<> PortusHook::before_update(std::uint64_t) {
+  if (mode_ == Mode::kAsync && pull_in_flight_) {
+    ++stats_.stalled_updates;
+    co_await pull_done_->wait();
+  }
+}
+
+sim::SubTask<> PortusHook::drain() {
+  if (pull_in_flight_) {
+    co_await pull_done_->wait();
+  }
+}
+
+sim::Process PortusHook::pull_async(std::uint64_t iteration) {
+  auto& engine = model_.gpu().engine();
+  const Time t0 = engine.now();
+  co_await client_.checkpoint(model_, iteration);
+  stats_.pull_time += engine.now() - t0;
+  ++stats_.completed;
+  stats_.last_committed_iteration = iteration;
+  pull_in_flight_ = false;
+  pull_done_->set();
+}
+
+}  // namespace portus::core

@@ -1,0 +1,54 @@
+// Asynchronous checkpoint coordination (SS III-E, Fig. 8/9).
+//
+// Portus decouples checkpointing from training: a checkpoint triggered at
+// an iteration boundary is *pulled by the daemon* while the next
+// iteration's forward/backward runs. Because weights only mutate in the
+// update phase, the loop must stall only if the pull has not finished by
+// the time U would begin — in practice a small or zero window (Fig. 9(d)).
+// Sync mode (Fig. 9(c)) blocks the iteration boundary for the full pull,
+// still far cheaper than serialize-and-write baselines.
+#pragma once
+
+#include <memory>
+
+#include "core/client.h"
+#include "dnn/training.h"
+#include "sim/sync.h"
+
+namespace portus::core {
+
+class PortusHook final : public dnn::CheckpointHook {
+ public:
+  enum class Mode { kSync, kAsync };
+
+  struct Stats {
+    std::uint64_t triggered = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t stalled_updates = 0;  // async pulls that ran into U
+    Duration pull_time{0};
+    std::uint64_t last_committed_iteration = 0;  // durable restore point
+  };
+
+  PortusHook(PortusClient& client, dnn::Model& model, std::uint64_t interval, Mode mode);
+
+  sim::SubTask<> on_iteration_end(std::uint64_t iteration) override;
+  sim::SubTask<> before_update(std::uint64_t iteration) override;
+
+  // End-of-run barrier: wait for any in-flight pull.
+  sim::SubTask<> drain();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Process pull_async(std::uint64_t iteration);
+
+  PortusClient& client_;
+  dnn::Model& model_;
+  std::uint64_t interval_;
+  Mode mode_;
+  bool pull_in_flight_ = false;
+  std::unique_ptr<sim::SimEvent> pull_done_;
+  Stats stats_;
+};
+
+}  // namespace portus::core

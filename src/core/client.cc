@@ -1,0 +1,109 @@
+#include "core/client.h"
+
+#include "common/logging.h"
+
+namespace portus::core {
+
+PortusClient::PortusClient(net::Cluster& cluster, net::Node& client_node, gpu::GpuDevice& gpu,
+                           QpRendezvous& rendezvous, std::string endpoint)
+    : cluster_{cluster},
+      node_{client_node},
+      gpu_{gpu},
+      rendezvous_{rendezvous},
+      endpoint_{std::move(endpoint)} {
+  pd_ = &client_node.nic().alloc_pd("portus-client-pd");
+}
+
+sim::SubTask<> PortusClient::connect() {
+  PORTUS_CHECK(socket_ == nullptr, "client already connected");
+  socket_ = co_await cluster_.endpoint(endpoint_).connect();
+}
+
+sim::SubTask<std::vector<std::byte>> PortusClient::roundtrip(std::vector<std::byte> request) {
+  PORTUS_CHECK(socket_ != nullptr, "client not connected");
+  PORTUS_CHECK(!op_in_flight_, "one control-plane operation at a time per client");
+  op_in_flight_ = true;
+  socket_->send(std::move(request));
+  auto reply = co_await socket_->recv();
+  op_in_flight_ = false;
+  co_return reply;
+}
+
+sim::SubTask<> PortusClient::register_model(dnn::Model& model) {
+  const Time t0 = cluster_.engine().now();
+
+  RegisterModelMsg msg;
+  msg.model_name = model.name();
+  msg.phantom = model.phantom();
+
+  // Pin every tensor through PeerMem and register it with the RNIC. The
+  // remote side needs READ (checkpoint pull) and WRITE (restore push).
+  for (auto& tensor : model.tensors()) {
+    const auto peer = co_await gpu::PeerMem::register_buffer(gpu_, tensor.buffer());
+    const auto& mr = pd_->register_region(node_.gpu_region(peer));
+    msg.tensors.push_back(TensorDesc{
+        .name = tensor.name(),
+        .dtype = tensor.meta().dtype,
+        .shape = tensor.meta().shape,
+        .size = tensor.byte_size(),
+        .gpu_addr = peer.global_addr,
+        .rkey = mr.rkey,
+    });
+  }
+
+  cq_ = std::make_unique<rdma::CompletionQueue>(cluster_.engine());
+  qp_ = &cluster_.fabric().create_qp(node_.nic(), *pd_, *cq_);
+  msg.qp_token = rendezvous_.publish(*qp_);
+
+  auto wire = encode(msg);
+  const auto reply = co_await roundtrip(std::move(wire));
+  const auto ack = decode_register_ack(reply);
+  PORTUS_CHECK(ack.ok, "registration rejected: " + ack.error);
+  stats_.registration_time = cluster_.engine().now() - t0;
+  PLOG_DEBUG("portus-client", "registered {} ({} tensors, {})", model.name(),
+             model.layer_count(), format_bytes(model.total_bytes()));
+}
+
+sim::SubTask<std::uint64_t> PortusClient::checkpoint(dnn::Model& model,
+                                                     std::uint64_t iteration) {
+  co_return co_await checkpoint_incremental(model, iteration, {});
+}
+
+sim::SubTask<std::uint64_t> PortusClient::checkpoint_incremental(
+    dnn::Model& model, std::uint64_t iteration, std::vector<std::uint32_t> dirty_indices) {
+  const Time t0 = cluster_.engine().now();
+  // NOTE: temporaries are materialized into locals before co_await — GCC 12
+  // miscompiles non-trivial temporaries inside co_await full-expressions
+  // (double destruction after resumption).
+  CheckpointReqMsg req{.model_name = model.name(),
+                       .iteration = iteration,
+                       .dirty_indices = std::move(dirty_indices)};
+  auto wire = encode(req);
+  const auto reply = co_await roundtrip(std::move(wire));
+  const auto done = decode_checkpoint_done(reply);
+  PORTUS_CHECK(done.ok, "checkpoint failed: " + done.error);
+  ++stats_.checkpoints;
+  stats_.last_checkpoint = cluster_.engine().now() - t0;
+  co_return done.epoch;
+}
+
+sim::SubTask<std::uint64_t> PortusClient::restore(dnn::Model& model) {
+  const Time t0 = cluster_.engine().now();
+  RestoreReqMsg req{.model_name = model.name()};
+  auto wire = encode(req);
+  const auto reply = co_await roundtrip(std::move(wire));
+  const auto done = decode_restore_done(reply);
+  PORTUS_CHECK(done.ok, "restore failed: " + done.error);
+  ++stats_.restores;
+  stats_.last_restore = cluster_.engine().now() - t0;
+  co_return done.epoch;
+}
+
+sim::SubTask<> PortusClient::finish(dnn::Model& model) {
+  FinishJobMsg req{.model_name = model.name()};
+  auto wire = encode(req);
+  const auto reply = co_await roundtrip(std::move(wire));
+  PORTUS_CHECK(decode_type(reply) == MsgType::kFinishAck, "unexpected finish reply");
+}
+
+}  // namespace portus::core

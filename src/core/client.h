@@ -1,0 +1,81 @@
+// Portus Client: the compute-node side, the library a training framework
+// (PyTorch/DeepSpeed/Megatron) links against.
+//
+// On register_model() it walks the model's pre-allocated GPU tensors, pins
+// each through NVIDIA PeerMem, registers RDMA memory regions, and ships the
+// metadata packet (names, dtypes, shapes, sizes, GPU addresses, rkeys) to
+// the daemon over TCP/IPoIB. checkpoint() and restore() are then one-word
+// triggers: the *daemon* moves all tensor bytes with one-sided verbs, so
+// the client never copies, serializes, or crosses into a kernel filesystem.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/protocol.h"
+#include "dnn/model.h"
+#include "gpu/peer_mem.h"
+#include "net/cluster.h"
+#include "sim/task.h"
+
+namespace portus::core {
+
+class PortusClient {
+ public:
+  struct Stats {
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restores = 0;
+    Duration last_checkpoint{0};
+    Duration last_restore{0};
+    Duration registration_time{0};
+  };
+
+  PortusClient(net::Cluster& cluster, net::Node& client_node, gpu::GpuDevice& gpu,
+               QpRendezvous& rendezvous, std::string endpoint = "portusd");
+
+  // Dial the daemon (TCP handshake). Must precede register_model().
+  sim::SubTask<> connect();
+
+  // Pin + register every tensor and send the metadata packet. The daemon
+  // lays out the checkpoint structure on PMEM before this returns.
+  sim::SubTask<> register_model(dnn::Model& model);
+
+  // Trigger "DO_CHECKPOINT" and wait for the daemon's completion notice.
+  // Returns the committed epoch.
+  sim::SubTask<std::uint64_t> checkpoint(dnn::Model& model, std::uint64_t iteration = 0);
+
+  // Incremental variant (Check-N-Run-style extension): only the tensors in
+  // `dirty_indices` changed since the previous checkpoint; the daemon pulls
+  // those over RDMA and copies the rest from the last valid version within
+  // PMEM. Falls back to a full pull when no previous version exists.
+  sim::SubTask<std::uint64_t> checkpoint_incremental(
+      dnn::Model& model, std::uint64_t iteration,
+      std::vector<std::uint32_t> dirty_indices);
+
+  // Trigger "DO_RESTORE": daemon writes the newest valid version into the
+  // model's GPU buffers. Returns the restored epoch.
+  sim::SubTask<std::uint64_t> restore(dnn::Model& model);
+
+  // Tell the daemon this training job is complete (repacker hint).
+  sim::SubTask<> finish(dnn::Model& model);
+
+  const Stats& stats() const { return stats_; }
+  bool connected() const { return socket_ != nullptr; }
+
+ private:
+  sim::SubTask<std::vector<std::byte>> roundtrip(std::vector<std::byte> request);
+
+  net::Cluster& cluster_;
+  net::Node& node_;
+  gpu::GpuDevice& gpu_;
+  QpRendezvous& rendezvous_;
+  std::string endpoint_;
+  std::shared_ptr<net::TcpSocket> socket_;
+  rdma::ProtectionDomain* pd_ = nullptr;
+  std::unique_ptr<rdma::CompletionQueue> cq_;
+  rdma::QueuePair* qp_ = nullptr;
+  bool op_in_flight_ = false;
+  Stats stats_;
+};
+
+}  // namespace portus::core

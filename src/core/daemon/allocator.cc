@@ -1,0 +1,193 @@
+#include "core/daemon/allocator.h"
+
+#include <algorithm>
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+#include "common/error.h"
+
+namespace portus::core {
+
+PmemAllocator::PmemAllocator(pmem::PmemDevice& device, Config config)
+    : device_{device}, config_{config}, bump_{config.data_offset} {
+  PORTUS_CHECK_ARG(config_.data_offset < config_.data_end, "empty allocator heap");
+  PORTUS_CHECK_ARG(config_.data_end <= device.size(), "heap exceeds device");
+  PORTUS_CHECK_ARG(
+      config_.table_offset + static_cast<Bytes>(config_.table_capacity) * kEntrySize <=
+          config_.data_offset,
+      "AllocTable overlaps the heap");
+  PORTUS_CHECK_ARG((config_.alignment & (config_.alignment - 1)) == 0,
+                   "alignment must be a power of two");
+  entries_.reserve(config_.table_capacity);
+  for (std::uint32_t i = 0; i < config_.table_capacity; ++i) {
+    entries_.push_back(std::make_unique<Entry>());
+  }
+}
+
+void PmemAllocator::persist_entry(std::uint32_t index) {
+  const Entry& e = *entries_[index];
+  BinaryWriter w;
+  w.u64(e.offset);
+  w.u64(e.size);
+  w.u32(e.state.load(std::memory_order_acquire));
+  w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
+  device_.write(table_slot_offset(index), w.buffer());
+  device_.persist(table_slot_offset(index), kEntrySize);
+}
+
+Bytes PmemAllocator::alloc(Bytes size) {
+  PORTUS_CHECK_ARG(size > 0, "cannot allocate zero bytes");
+  size = (size + config_.alignment - 1) & ~(config_.alignment - 1);
+
+  // First fit over freed extents, claimed lock-free.
+  const auto count = entry_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry& e = *entries_[i];
+    if (e.size < size) continue;
+    auto expected = static_cast<std::uint32_t>(AllocState::kFree);
+    if (e.size > 0 &&
+        e.state.compare_exchange_strong(expected,
+                                        static_cast<std::uint32_t>(AllocState::kClaimed),
+                                        std::memory_order_acq_rel)) {
+      e.state.store(static_cast<std::uint32_t>(AllocState::kLive),
+                    std::memory_order_release);
+      persist_entry(i);
+      return e.offset;
+    }
+  }
+
+  // Fresh space from the bump region.
+  const Bytes offset = bump_.fetch_add(size, std::memory_order_acq_rel);
+  if (offset + size > config_.data_end) {
+    bump_.fetch_sub(size, std::memory_order_acq_rel);
+    throw ResourceExhausted("PMEM heap exhausted (repack may reclaim space)");
+  }
+  const auto index = entry_count_.fetch_add(1, std::memory_order_acq_rel);
+  if (index >= config_.table_capacity) {
+    entry_count_.fetch_sub(1, std::memory_order_acq_rel);
+    bump_.fetch_sub(size, std::memory_order_acq_rel);
+    throw ResourceExhausted("AllocTable full");
+  }
+  Entry& e = *entries_[index];
+  e.offset = offset;
+  e.size = size;
+  e.state.store(static_cast<std::uint32_t>(AllocState::kLive), std::memory_order_release);
+  persist_entry(index);
+  return offset;
+}
+
+void PmemAllocator::free(Bytes offset) {
+  const auto count = entry_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry& e = *entries_[i];
+    if (e.offset != offset || e.size == 0) continue;
+    auto expected = static_cast<std::uint32_t>(AllocState::kLive);
+    if (e.state.compare_exchange_strong(expected,
+                                        static_cast<std::uint32_t>(AllocState::kFree),
+                                        std::memory_order_acq_rel)) {
+      persist_entry(i);
+      return;
+    }
+    throw InvalidArgument("double free of PMEM extent");
+  }
+  throw InvalidArgument("free of unknown PMEM offset");
+}
+
+void PmemAllocator::recover() {
+  entry_count_.store(0, std::memory_order_release);
+  Bytes high_water = config_.data_offset;
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < config_.table_capacity; ++i) {
+    const auto raw = device_.read(table_slot_offset(i), kEntrySize);
+    BinaryReader r{raw};
+    const Bytes offset = r.u64();
+    const Bytes size = r.u64();
+    const auto state = r.u32();
+    const auto crc = r.u32();
+    if (crc != Crc32::of(raw.data(), 20)) continue;  // torn or never written
+    if (size == 0) continue;                         // dead entry
+    Entry& e = *entries_[i];
+    e.offset = offset;
+    e.size = size;
+    // A crash mid-allocation leaves CLAIMED; nothing can reference it yet,
+    // so it recovers as FREE.
+    const auto st = state == static_cast<std::uint32_t>(AllocState::kLive)
+                        ? AllocState::kLive
+                        : AllocState::kFree;
+    e.state.store(static_cast<std::uint32_t>(st), std::memory_order_release);
+    high_water = std::max(high_water, offset + size);
+    count = std::max(count, i + 1);
+  }
+  entry_count_.store(count, std::memory_order_release);
+  bump_.store(high_water, std::memory_order_release);
+}
+
+Bytes PmemAllocator::live_bytes() const {
+  Bytes total = 0;
+  const auto count = entry_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Entry& e = *entries_[i];
+    if (e.state.load(std::memory_order_acquire) ==
+        static_cast<std::uint32_t>(AllocState::kLive)) {
+      total += e.size;
+    }
+  }
+  return total;
+}
+
+Bytes PmemAllocator::free_listed_bytes() const {
+  Bytes total = 0;
+  const auto count = entry_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Entry& e = *entries_[i];
+    if (e.size > 0 && e.state.load(std::memory_order_acquire) ==
+                          static_cast<std::uint32_t>(AllocState::kFree)) {
+      total += e.size;
+    }
+  }
+  return total;
+}
+
+std::vector<PmemAllocator::Extent> PmemAllocator::extents() const {
+  std::vector<Extent> out;
+  const auto count = entry_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Entry& e = *entries_[i];
+    if (e.size == 0) continue;
+    out.push_back(Extent{e.offset, e.size,
+                         static_cast<AllocState>(e.state.load(std::memory_order_acquire))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Extent& a, const Extent& b) { return a.offset < b.offset; });
+  return out;
+}
+
+Bytes PmemAllocator::compact() {
+  // Single-threaded by contract. Repeatedly absorb the highest free extent
+  // that touches the bump pointer.
+  Bytes reclaimed = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const auto count = entry_count_.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Entry& e = *entries_[i];
+      if (e.size == 0) continue;
+      if (e.state.load(std::memory_order_acquire) !=
+          static_cast<std::uint32_t>(AllocState::kFree)) {
+        continue;
+      }
+      if (e.offset + e.size == bump_.load(std::memory_order_acquire)) {
+        bump_.store(e.offset, std::memory_order_release);
+        reclaimed += e.size;
+        e.size = 0;
+        e.offset = 0;
+        persist_entry(i);
+        progress = true;
+      }
+    }
+  }
+  return reclaimed;
+}
+
+}  // namespace portus::core

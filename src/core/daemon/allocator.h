@@ -1,0 +1,89 @@
+// PMEM allocator with a persistent AllocTable (SS III-B).
+//
+// The daemon allocates contiguous TensorData regions and MIndex records out
+// of the devdax namespace. Allocation status lives in two places:
+//   * a DRAM mirror with std::atomic entry states, claimed by
+//     compare-&-swap — the paper's lock-free fast path ("we apply the
+//     compare & swap intrinsic to ensure the lock-free of the whole system");
+//   * the persistent AllocTable region on PMEM, written through after every
+//     state change so a restarted daemon can rebuild its heap.
+//
+// Policy: first-fit reuse of freed extents (CAS FREE -> CLAIMED), falling
+// back to an atomic bump pointer for fresh space. The repacker compacts
+// trailing free extents back into the bump region.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "pmem/pmem_device.h"
+
+namespace portus::core {
+
+enum class AllocState : std::uint32_t { kFree = 0, kClaimed = 1, kLive = 2 };
+
+class PmemAllocator {
+ public:
+  struct Config {
+    Bytes table_offset = 0;       // persistent AllocTable location
+    std::uint32_t table_capacity = 4096;  // max tracked extents
+    Bytes data_offset = 0;        // heap start
+    Bytes data_end = 0;           // heap end (exclusive)
+    Bytes alignment = 256;        // XPLine alignment
+  };
+
+  struct Extent {
+    Bytes offset = 0;
+    Bytes size = 0;
+    AllocState state = AllocState::kFree;
+  };
+
+  PmemAllocator(pmem::PmemDevice& device, Config config);
+
+  // Allocate `size` bytes; returns the device offset. Thread-safe
+  // (lock-free: CAS claims + atomic bump).
+  Bytes alloc(Bytes size);
+
+  // Release a previously allocated extent (by its exact offset).
+  void free(Bytes offset);
+
+  // Rebuild the DRAM mirror from the persistent AllocTable (daemon restart).
+  void recover();
+
+  // --- introspection / repacker support ---
+  Bytes bump() const { return bump_.load(std::memory_order_relaxed); }
+  Bytes live_bytes() const;
+  Bytes free_listed_bytes() const;  // freed-but-not-reclaimed extents
+  Bytes capacity() const { return config_.data_end - config_.data_offset; }
+  std::vector<Extent> extents() const;
+
+  // Reclaim trailing free extents into the bump region and drop free
+  // entries that were fully reabsorbed. NOT thread-safe: callers must
+  // quiesce allocation (the repacker runs with the daemon idle).
+  Bytes compact();
+
+  static constexpr Bytes kEntrySize = 24;  // offset u64 | size u64 | state u32 | crc u32
+
+ private:
+  struct Entry {
+    Bytes offset = 0;
+    Bytes size = 0;
+    std::atomic<std::uint32_t> state{0};
+  };
+
+  void persist_entry(std::uint32_t index);
+  Bytes table_slot_offset(std::uint32_t index) const {
+    return config_.table_offset + static_cast<Bytes>(index) * kEntrySize;
+  }
+
+  pmem::PmemDevice& device_;
+  Config config_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::atomic<std::uint32_t> entry_count_{0};
+  std::atomic<Bytes> bump_;
+};
+
+}  // namespace portus::core

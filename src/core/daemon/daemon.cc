@@ -1,0 +1,277 @@
+#include "core/daemon/daemon.h"
+
+#include "common/logging.h"
+#include "core/daemon/slots.h"
+
+namespace portus::core {
+
+namespace {
+constexpr const char* kLog = "portusd";
+}
+
+PortusDaemon::PortusDaemon(net::Cluster& cluster, net::Node& storage_node,
+                           QpRendezvous& rendezvous, Config config)
+    : cluster_{cluster},
+      node_{storage_node},
+      rendezvous_{rendezvous},
+      config_{config},
+      device_{storage_node.devdax().device()},
+      pd_{storage_node.nic().alloc_pd("portusd-pd")} {
+  PORTUS_CHECK_ARG(storage_node.has_devdax(),
+                   "Portus daemon requires a devdax PMEM namespace");
+  model_table_ = std::make_unique<ModelTable>(device_, kModelTableOffset,
+                                              config_.model_table_capacity);
+  allocator_ = std::make_unique<PmemAllocator>(
+      device_, PmemAllocator::Config{.table_offset = kAllocTableOffset,
+                                     .table_capacity = config_.alloc_table_capacity,
+                                     .data_offset = kHeapOffset,
+                                     .data_end = device_.size()});
+  workers_ = std::make_unique<sim::SimSemaphore>(cluster.engine(), config_.workers);
+}
+
+void PortusDaemon::start() {
+  PORTUS_CHECK(!started_, "daemon already started");
+  started_ = true;
+  cluster_.listen(config_.endpoint);
+  cluster_.engine().spawn(accept_loop());
+}
+
+void PortusDaemon::recover() {
+  model_table_->recover();
+  allocator_->recover();
+  sessions_.clear();
+  PLOG_INFO(kLog, "recovered: {} models in table, {} live bytes on heap",
+            model_table_->size(), allocator_->live_bytes());
+}
+
+MIndex* PortusDaemon::find_live_index(const std::string& model_name) {
+  const auto it = sessions_.find(model_name);
+  return it == sessions_.end() ? nullptr : it->second.index.get();
+}
+
+MIndex PortusDaemon::load_index(const std::string& model_name) {
+  const auto offset = model_table_->lookup(model_name);
+  if (!offset.has_value()) throw NotFound("model not in ModelTable: " + model_name);
+  return MIndex::load(device_, *offset);
+}
+
+sim::Process PortusDaemon::accept_loop() {
+  auto& listener = cluster_.endpoint(config_.endpoint);
+  try {
+    for (;;) {
+      auto socket = co_await listener.accept();
+      cluster_.engine().spawn(session_loop(std::move(socket)));
+    }
+  } catch (const Disconnected&) {
+    // listener closed at teardown
+  }
+}
+
+sim::Process PortusDaemon::session_loop(std::shared_ptr<net::TcpSocket> socket) {
+  try {
+    for (;;) {
+      const auto wire = co_await socket->recv();
+      switch (decode_type(wire)) {
+        case MsgType::kRegisterModel: {
+          auto reply = co_await handle_register(decode_register_model(wire));
+          socket->send(encode(reply));
+          break;
+        }
+        case MsgType::kCheckpointReq: {
+          auto reply = co_await handle_checkpoint(decode_checkpoint_req(wire));
+          socket->send(encode(reply));
+          break;
+        }
+        case MsgType::kRestoreReq: {
+          auto reply = co_await handle_restore(decode_restore_req(wire));
+          socket->send(encode(reply));
+          break;
+        }
+        case MsgType::kFinishJob: {
+          const auto msg = decode_finish_job(wire);
+          finished_.insert(msg.model_name);
+          model_table_->set_finished(msg.model_name);
+          BinaryWriter w;
+          w.u8(static_cast<std::uint8_t>(MsgType::kFinishAck));
+          socket->send(w.take());
+          break;
+        }
+        default:
+          throw Corruption("unexpected message type on daemon socket");
+      }
+    }
+  } catch (const Disconnected&) {
+    // client went away; its registrations stay (checkpoint data is durable)
+  }
+}
+
+sim::SubTask<RegisterAckMsg> PortusDaemon::handle_register(RegisterModelMsg msg) {
+  co_await workers_->acquire();
+  RegisterAckMsg ack;
+  try {
+    ModelSession session;
+    session.registration = msg;
+
+    // Reuse the persistent index when this model is already known (training
+    // restart): the checkpoint data on PMEM outlives client sessions.
+    if (const auto existing = model_table_->lookup(msg.model_name); existing.has_value()) {
+      auto loaded = MIndex::load(device_, *existing);
+      PORTUS_CHECK(loaded.tensors().size() == msg.tensors.size(),
+                   "re-registration with a different model structure");
+      session.index = std::make_unique<MIndex>(std::move(loaded));
+      // Slots reclaimed by the repacker (torn/outdated versions) are
+      // re-provisioned so the double-mapping invariant holds again.
+      for (int i = 0; i < 2; ++i) {
+        session.index->ensure_slot(i, *allocator_);
+      }
+    } else {
+      session.index =
+          std::make_unique<MIndex>(MIndex::create(device_, *allocator_, msg));
+      model_table_->insert(msg.model_name, session.index->record_offset());
+    }
+
+    // Register both TensorData slots as RDMA regions and wire up the QP.
+    auto& ns = node_.devdax();
+    for (int i = 0; i < 2; ++i) {
+      const auto& slot = session.index->slot(i);
+      if (slot.data_offset == 0) continue;  // torn slot reclaimed by repacker
+      auto mapping = ns.map(slot.data_offset, session.index->slot_size());
+      session.slot_mr[i] = &pd_.register_region(node_.pmem_region(mapping));
+    }
+    session.cq = std::make_unique<rdma::CompletionQueue>(cluster_.engine());
+    session.qp = &cluster_.fabric().create_qp(node_.nic(), pd_, *session.cq);
+    cluster_.fabric().connect(*session.qp, rendezvous_.resolve(msg.qp_token));
+
+    sessions_.erase(msg.model_name);
+    sessions_.emplace(msg.model_name, std::move(session));
+    ++stats_.registrations;
+    ack.ok = true;
+    PLOG_DEBUG(kLog, "registered model {} ({} tensors)", msg.model_name,
+               msg.tensors.size());
+  } catch (const Error& e) {
+    ++stats_.failed_ops;
+    ack.ok = false;
+    ack.error = e.what();
+  }
+  workers_->release();
+  co_return ack;
+}
+
+sim::SubTask<CheckpointDoneMsg> PortusDaemon::handle_checkpoint(CheckpointReqMsg msg) {
+  co_await workers_->acquire();
+  auto trace_span = config_.tracer != nullptr
+                        ? config_.tracer->span("checkpoint " + msg.model_name, "portusd")
+                        : sim::Tracer::Span{};
+  CheckpointDoneMsg done;
+  done.model_name = msg.model_name;
+  try {
+    const auto it = sessions_.find(msg.model_name);
+    PORTUS_CHECK(it != sessions_.end(), "DO_CHECKPOINT for unregistered model");
+    ModelSession& session = it->second;
+    MIndex& index = *session.index;
+
+    // Incremental mode needs a previous DONE version to copy clean tensors
+    // from; fall back to a full pull otherwise.
+    const auto prev_slot = index.latest_done_slot();
+    std::vector<bool> dirty;
+    if (!msg.dirty_indices.empty() && prev_slot.has_value()) {
+      dirty.assign(index.tensors().size(), false);
+      for (const auto i : msg.dirty_indices) {
+        PORTUS_CHECK(i < dirty.size(), "dirty index out of range");
+        dirty[i] = true;
+      }
+    }
+    const Bytes prev_data_offset =
+        prev_slot.has_value() ? index.slot(*prev_slot).data_offset : 0;
+
+    auto txn = CheckpointTxn::begin(index);
+    const auto* slot_mr = session.slot_mr[txn.slot()];
+    PORTUS_CHECK(slot_mr != nullptr, "write slot has no registered region");
+
+    // Pull changed tensors from the remote GPU (one one-sided READ each);
+    // copy unchanged ones PMEM-locally from the previous version.
+    for (std::size_t i = 0; i < index.tensors().size(); ++i) {
+      const auto& tensor = index.tensors()[i];
+      const auto& desc = session.registration.tensors[i];
+      if (!dirty.empty() && !dirty[i]) {
+        // Device-local copy: the read and write streams through the DIMMs
+        // are pipelined, so the slower (write) side bounds the copy; no NIC
+        // or GPU BAR involvement — those stay free for other tenants.
+        co_await node_.devdax_write_channel().transfer(
+            tensor.size, node_.devdax().device().perf().read_bw);
+        if (!index.phantom()) {
+          mem::copy_bytes(device_, txn.data_offset() + tensor.offset_in_slot, device_,
+                          prev_data_offset + tensor.offset_in_slot, tensor.size);
+        } else {
+          device_.mark_dirty(txn.data_offset() + tensor.offset_in_slot, tensor.size);
+        }
+        continue;
+      }
+      const auto wc = co_await session.qp->read_sync(
+          slot_mr->lkey, slot_mr->addr + tensor.offset_in_slot, tensor.size, desc.rkey,
+          desc.gpu_addr);
+      PORTUS_CHECK(wc.status == rdma::WcStatus::kSuccess,
+                   std::string{"RDMA READ failed: "} + rdma::to_string(wc.status));
+    }
+
+    // Flush the slot into the persistence domain before declaring it DONE.
+    device_.persist(txn.data_offset(), index.slot_size());
+    co_await cluster_.engine().sleep(device_.perf().persist_overhead);
+
+    txn.commit();
+    ++stats_.checkpoints;
+    stats_.bytes_pulled += session.registration.total_bytes();
+    done.ok = true;
+    done.epoch = txn.epoch();
+  } catch (const Error& e) {
+    ++stats_.failed_ops;
+    done.ok = false;
+    done.error = e.what();
+  }
+  workers_->release();
+  co_return done;
+}
+
+sim::SubTask<RestoreDoneMsg> PortusDaemon::handle_restore(RestoreReqMsg msg) {
+  co_await workers_->acquire();
+  auto trace_span = config_.tracer != nullptr
+                        ? config_.tracer->span("restore " + msg.model_name, "portusd")
+                        : sim::Tracer::Span{};
+  RestoreDoneMsg done;
+  done.model_name = msg.model_name;
+  try {
+    const auto it = sessions_.find(msg.model_name);
+    PORTUS_CHECK(it != sessions_.end(), "DO_RESTORE for unregistered model");
+    ModelSession& session = it->second;
+    MIndex& index = *session.index;
+
+    const auto slot_idx = index.latest_done_slot();
+    PORTUS_CHECK(slot_idx.has_value(), "no valid checkpoint version on PMEM");
+    const auto* slot_mr = session.slot_mr[*slot_idx];
+    PORTUS_CHECK(slot_mr != nullptr, "restore slot has no registered region");
+
+    // Push every tensor into the remote GPU: one-sided RDMA WRITEs.
+    for (std::size_t i = 0; i < index.tensors().size(); ++i) {
+      const auto& tensor = index.tensors()[i];
+      const auto& desc = session.registration.tensors[i];
+      const auto wc = co_await session.qp->write_sync(
+          slot_mr->lkey, slot_mr->addr + tensor.offset_in_slot, tensor.size, desc.rkey,
+          desc.gpu_addr);
+      PORTUS_CHECK(wc.status == rdma::WcStatus::kSuccess,
+                   std::string{"RDMA WRITE failed: "} + rdma::to_string(wc.status));
+    }
+
+    ++stats_.restores;
+    stats_.bytes_pushed += session.registration.total_bytes();
+    done.ok = true;
+    done.epoch = index.slot(*slot_idx).epoch;
+  } catch (const Error& e) {
+    ++stats_.failed_ops;
+    done.ok = false;
+    done.error = e.what();
+  }
+  workers_->release();
+  co_return done;
+}
+
+}  // namespace portus::core

@@ -1,0 +1,120 @@
+// Portus Daemon: the storage-server side (Fig. 4).
+//
+// Listens on a TCP endpoint ("portusd"); each client connection is served
+// by its own session process. Heavy operations (registration layout,
+// checkpoint pulls, restore pushes) run under a worker pool modelled as a
+// counting semaphore — the paper's ThreadPool — so concurrency across
+// tenants is bounded but real.
+//
+// PMEM layout on the devdax namespace:
+//   [4 KiB  superblock (reserved)]
+//   [ModelTable  @ 4 KiB,  capacity x 64 B]
+//   [AllocTable  @ 64 KiB, capacity x 24 B]
+//   [heap        @ 1 MiB ... device end)   (MIndex records + TensorData)
+//
+// Checkpoint = CheckpointTxn::begin (ACTIVE persisted) -> one-sided RDMA
+// READ per tensor from client GPU memory into the slot's TensorData ->
+// persist -> commit (DONE + epoch persisted) -> notify client over TCP.
+// Restore = one-sided RDMA WRITE per tensor from the newest DONE slot into
+// the client's (freshly registered) GPU buffers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "core/daemon/allocator.h"
+#include "core/daemon/mindex.h"
+#include "core/daemon/model_table.h"
+#include "core/protocol.h"
+#include "net/cluster.h"
+#include "pmem/devdax.h"
+#include "rdma/fabric.h"
+#include "sim/sync.h"
+#include "sim/trace.h"
+
+namespace portus::core {
+
+class PortusDaemon {
+ public:
+  struct Config {
+    int workers = 8;
+    std::uint32_t model_table_capacity = 224;   // fits in [4 KiB, 18 KiB)
+    std::uint32_t alloc_table_capacity = 8192;
+    std::string endpoint = "portusd";
+    // Optional timeline tracing of checkpoint/restore operations.
+    sim::Tracer* tracer = nullptr;
+  };
+
+  struct Stats {
+    std::uint64_t registrations = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t failed_ops = 0;
+    Bytes bytes_pulled = 0;
+    Bytes bytes_pushed = 0;
+  };
+
+  PortusDaemon(net::Cluster& cluster, net::Node& storage_node, QpRendezvous& rendezvous,
+               Config config);
+  PortusDaemon(net::Cluster& cluster, net::Node& storage_node, QpRendezvous& rendezvous)
+      : PortusDaemon(cluster, storage_node, rendezvous, Config{}) {}
+
+  // Bind the endpoint and start accepting connections.
+  void start();
+
+  // Rebuild DRAM state (ModelMap, allocator mirror) from PMEM after a
+  // restart. Client sessions do not survive; clients re-register.
+  void recover();
+
+  const Stats& stats() const { return stats_; }
+  ModelTable& model_table() { return *model_table_; }
+  PmemAllocator& allocator() { return *allocator_; }
+  pmem::PmemDevice& device() { return device_; }
+  net::Node& node() { return node_; }
+
+  // Models whose training job sent FINISH_JOB (repacker input).
+  const std::set<std::string>& finished_models() const { return finished_; }
+
+  // Live (registered this run) MIndex for a model, if any.
+  MIndex* find_live_index(const std::string& model_name);
+  // Load from PMEM (works without a live session, e.g. portusctl).
+  MIndex load_index(const std::string& model_name);
+
+  static constexpr Bytes kModelTableOffset = 4_KiB;
+  static constexpr Bytes kAllocTableOffset = 64_KiB;
+  static constexpr Bytes kHeapOffset = 1_MiB;
+
+ private:
+  struct ModelSession {
+    RegisterModelMsg registration;
+    std::unique_ptr<MIndex> index;
+    std::unique_ptr<rdma::CompletionQueue> cq;
+    rdma::QueuePair* qp = nullptr;
+    const rdma::MemoryRegion* slot_mr[2] = {nullptr, nullptr};
+  };
+
+  sim::Process accept_loop();
+  sim::Process session_loop(std::shared_ptr<net::TcpSocket> socket);
+
+  sim::SubTask<RegisterAckMsg> handle_register(RegisterModelMsg msg);
+  sim::SubTask<CheckpointDoneMsg> handle_checkpoint(CheckpointReqMsg msg);
+  sim::SubTask<RestoreDoneMsg> handle_restore(RestoreReqMsg msg);
+
+  net::Cluster& cluster_;
+  net::Node& node_;
+  QpRendezvous& rendezvous_;
+  Config config_;
+  pmem::PmemDevice& device_;
+  rdma::ProtectionDomain& pd_;
+  std::unique_ptr<ModelTable> model_table_;
+  std::unique_ptr<PmemAllocator> allocator_;
+  std::unique_ptr<sim::SimSemaphore> workers_;
+  std::map<std::string, ModelSession> sessions_;
+  std::set<std::string> finished_;
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace portus::core

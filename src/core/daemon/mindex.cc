@@ -1,0 +1,230 @@
+#include "core/daemon/mindex.h"
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+
+namespace portus::core {
+
+const char* to_string(SlotState s) {
+  switch (s) {
+    case SlotState::kEmpty: return "EMPTY";
+    case SlotState::kActive: return "ACTIVE";
+    case SlotState::kDone: return "DONE";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::byte> encode_slot_header(const SlotHeader& h) {
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(h.state));
+  w.u64(h.epoch);
+  w.u64(h.data_offset);
+  w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
+  return w.take();
+}
+
+std::optional<SlotHeader> decode_slot_header(std::span<const std::byte> raw) {
+  BinaryReader r{raw};
+  SlotHeader h;
+  h.state = static_cast<SlotState>(r.u32());
+  h.epoch = r.u64();
+  h.data_offset = r.u64();
+  const auto crc = r.u32();
+  if (crc != Crc32::of(raw.data(), MIndex::kSlotHeaderSize - 4)) return std::nullopt;
+  if (h.state != SlotState::kEmpty && h.state != SlotState::kActive &&
+      h.state != SlotState::kDone) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+std::vector<std::byte> encode_meta_blob(const std::string& name, bool phantom, Bytes slot_size,
+                                        const std::vector<IndexedTensor>& tensors) {
+  BinaryWriter w;
+  w.str(name);
+  w.u8(phantom ? 1 : 0);
+  w.u64(slot_size);
+  w.u32(static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& t : tensors) {
+    w.str(t.name);
+    w.u8(static_cast<std::uint8_t>(t.dtype));
+    w.u32(static_cast<std::uint32_t>(t.shape.size()));
+    for (const auto d : t.shape) w.i64(d);
+    w.u64(t.size);
+    w.u64(t.offset_in_slot);
+  }
+  w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
+  return w.take();
+}
+
+}  // namespace
+
+MIndex MIndex::create(pmem::PmemDevice& device, PmemAllocator& allocator,
+                      const RegisterModelMsg& registration) {
+  PORTUS_CHECK_ARG(!registration.tensors.empty(), "registration has no tensors");
+
+  MIndex idx;
+  idx.device_ = &device;
+  idx.model_name_ = registration.model_name;
+  idx.phantom_ = registration.phantom;
+
+  // Lay tensors out back-to-back (256 B aligned) in one contiguous slot.
+  Bytes cursor = 0;
+  idx.tensors_.reserve(registration.tensors.size());
+  for (const auto& t : registration.tensors) {
+    IndexedTensor it;
+    it.name = t.name;
+    it.dtype = t.dtype;
+    it.shape = t.shape;
+    it.size = t.size;
+    it.offset_in_slot = cursor;
+    cursor += (t.size + 255) & ~Bytes{255};
+    idx.tensors_.push_back(std::move(it));
+  }
+  idx.slot_size_ = cursor;
+
+  // Allocate both TensorData regions and the record.
+  const auto meta_blob =
+      encode_meta_blob(idx.model_name_, idx.phantom_, idx.slot_size_, idx.tensors_);
+  idx.record_size_ = 8 + 2 * kSlotHeaderSize + meta_blob.size();
+  idx.record_offset_ = allocator.alloc(idx.record_size_);
+  idx.slots_.resize(2);
+  for (auto& slot : idx.slots_) {
+    slot.data_offset = allocator.alloc(idx.slot_size_);
+    slot.state = SlotState::kEmpty;
+    slot.epoch = 0;
+  }
+
+  // Persist the record: header, slot headers, metadata blob.
+  BinaryWriter head;
+  head.u32(kMagic);
+  head.u32(static_cast<std::uint32_t>(idx.record_size_));
+  device.write(idx.record_offset_, head.buffer());
+  for (int i = 0; i < 2; ++i) {
+    device.write(idx.record_offset_ + kSlot0Offset + static_cast<Bytes>(i) * kSlotHeaderSize,
+                 encode_slot_header(idx.slots_[static_cast<std::size_t>(i)]));
+  }
+  device.write(idx.record_offset_ + kSlot0Offset + 2 * kSlotHeaderSize, meta_blob);
+  device.persist(idx.record_offset_, idx.record_size_);
+  return idx;
+}
+
+MIndex MIndex::load(pmem::PmemDevice& device, Bytes record_offset) {
+  MIndex idx;
+  idx.device_ = &device;
+  idx.record_offset_ = record_offset;
+
+  const auto head = device.read(record_offset, 8);
+  BinaryReader hr{head};
+  if (hr.u32() != kMagic) throw Corruption("MIndex magic mismatch");
+  idx.record_size_ = hr.u32();
+  if (idx.record_size_ < 8 + 2 * kSlotHeaderSize + 4 ||
+      record_offset + idx.record_size_ > device.size()) {
+    throw Corruption("MIndex record length implausible");
+  }
+
+  idx.slots_.resize(2);
+  for (int i = 0; i < 2; ++i) {
+    const auto raw = device.read(
+        record_offset + kSlot0Offset + static_cast<Bytes>(i) * kSlotHeaderSize,
+        kSlotHeaderSize);
+    const auto h = decode_slot_header(raw);
+    // A torn slot header (crash mid-flip) recovers as EMPTY: that version
+    // was in flight and is invalid by definition.
+    idx.slots_[static_cast<std::size_t>(i)] = h.value_or(SlotHeader{});
+  }
+
+  const Bytes blob_at = record_offset + kSlot0Offset + 2 * kSlotHeaderSize;
+  const Bytes blob_len = idx.record_size_ - (8 + 2 * kSlotHeaderSize);
+  const auto blob = device.read(blob_at, blob_len);
+  if (Crc32::of(blob.data(), blob.size() - 4) !=
+      [&] {
+        BinaryReader tr{std::span<const std::byte>{blob}.subspan(blob.size() - 4)};
+        return tr.u32();
+      }()) {
+    throw Corruption("MIndex metadata CRC mismatch");
+  }
+  BinaryReader r{std::span<const std::byte>{blob}.first(blob.size() - 4)};
+  idx.model_name_ = r.str();
+  idx.phantom_ = r.u8() != 0;
+  idx.slot_size_ = r.u64();
+  const auto count = r.u32();
+  idx.tensors_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    IndexedTensor t;
+    t.name = r.str();
+    t.dtype = static_cast<dnn::DType>(r.u8());
+    const auto ndim = r.u32();
+    if (ndim > 16) throw Corruption("implausible tensor rank in MIndex");
+    t.shape.resize(ndim);
+    for (auto& d : t.shape) d = r.i64();
+    t.size = r.u64();
+    t.offset_in_slot = r.u64();
+    idx.tensors_.push_back(std::move(t));
+  }
+  return idx;
+}
+
+int MIndex::pick_write_slot() const {
+  const auto latest = latest_done_slot();
+  if (!latest.has_value()) return 0;
+  return 1 - *latest;
+}
+
+std::optional<int> MIndex::latest_done_slot() const {
+  std::optional<int> best;
+  for (int i = 0; i < 2; ++i) {
+    const auto& s = slots_[static_cast<std::size_t>(i)];
+    if (s.state != SlotState::kDone) continue;
+    if (!best.has_value() || s.epoch > slots_[static_cast<std::size_t>(*best)].epoch) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::uint64_t MIndex::max_epoch() const {
+  return std::max(slots_[0].epoch, slots_[1].epoch);
+}
+
+void MIndex::set_slot(int i, SlotState state, std::uint64_t epoch) {
+  auto& slot = slots_.at(static_cast<std::size_t>(i));
+  slot.state = state;
+  slot.epoch = epoch;
+  persist_slot_header(i);
+}
+
+void MIndex::clear_slot(int i) {
+  auto& slot = slots_.at(static_cast<std::size_t>(i));
+  slot = SlotHeader{};
+  persist_slot_header(i);
+}
+
+void MIndex::ensure_slot(int i, PmemAllocator& allocator) {
+  auto& slot = slots_.at(static_cast<std::size_t>(i));
+  if (slot.data_offset != 0) return;
+  slot = SlotHeader{.state = SlotState::kEmpty, .epoch = 0,
+                    .data_offset = allocator.alloc(slot_size_)};
+  persist_slot_header(i);
+}
+
+void MIndex::persist_slot_header(int i) {
+  const Bytes at = record_offset_ + kSlot0Offset + static_cast<Bytes>(i) * kSlotHeaderSize;
+  device_->write(at, encode_slot_header(slots_[static_cast<std::size_t>(i)]));
+  device_->persist(at, kSlotHeaderSize);
+}
+
+void MIndex::destroy(PmemAllocator& allocator) {
+  for (const auto& slot : slots_) {
+    // A torn slot header recovered as EMPTY has lost its data_offset; its
+    // extent is reclaimed by the repacker instead.
+    if (slot.data_offset != 0) allocator.free(slot.data_offset);
+  }
+  allocator.free(record_offset_);
+  slots_.clear();
+  tensors_.clear();
+}
+
+}  // namespace portus::core

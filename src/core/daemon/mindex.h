@@ -1,0 +1,114 @@
+// MIndex: the second level of the three-level index (SS III-D1).
+//
+// One record per registered model, stored on PMEM at the info_offset that
+// ModelTable points to. It holds the model's full tensor metadata (layer
+// count, names, dtypes, shapes, sizes, per-tensor offsets inside a slot)
+// and the two *checkpoint slot* headers of the double-mapping consistency
+// scheme (SS III-D2). Each slot references one contiguous TensorData region
+// — the third index level — allocated from the PMEM heap and registered as
+// an RDMA memory region.
+//
+// PMEM record layout (little-endian):
+//   [u32 magic][u32 record_len]
+//   [slot0: u32 state | u64 epoch | u64 data_offset | u32 crc]   (24 B)
+//   [slot1: ditto]
+//   [meta blob: name, phantom flag, slot_size, tensor entries..., u32 crc]
+//
+// Slot headers are fixed-offset so a checkpoint flips its flag with one
+// 24-byte write + persist — no record rewrite. Persist ordering is the
+// crash-consistency contract:
+//   ACTIVE flag persisted  ->  tensor data pulled & persisted  ->
+//   DONE flag (with new epoch) persisted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/daemon/allocator.h"
+#include "core/protocol.h"
+#include "pmem/pmem_device.h"
+
+namespace portus::core {
+
+enum class SlotState : std::uint32_t { kEmpty = 0, kActive = 1, kDone = 2 };
+
+const char* to_string(SlotState s);
+
+struct SlotHeader {
+  SlotState state = SlotState::kEmpty;
+  std::uint64_t epoch = 0;
+  Bytes data_offset = 0;  // device offset of this slot's TensorData region
+};
+
+struct IndexedTensor {
+  std::string name;
+  dnn::DType dtype = dnn::DType::kF32;
+  std::vector<std::int64_t> shape;
+  Bytes size = 0;
+  Bytes offset_in_slot = 0;  // paddr = slot.data_offset + offset_in_slot
+};
+
+class MIndex {
+ public:
+  static constexpr std::uint32_t kMagic = 0x584D4950;  // "PIMX"
+  static constexpr Bytes kSlotHeaderSize = 24;
+  static constexpr Bytes kSlot0Offset = 8;  // after magic + record_len
+
+  // Build a fresh record from a registration packet: allocates the record
+  // itself and both TensorData slots, persists everything.
+  static MIndex create(pmem::PmemDevice& device, PmemAllocator& allocator,
+                       const RegisterModelMsg& registration);
+
+  // Load an existing record (daemon restart / portusctl). Validates magic
+  // and metadata CRC; slot headers with bad CRCs surface as kEmpty.
+  static MIndex load(pmem::PmemDevice& device, Bytes record_offset);
+
+  const std::string& model_name() const { return model_name_; }
+  bool phantom() const { return phantom_; }
+  Bytes record_offset() const { return record_offset_; }
+  Bytes record_size() const { return record_size_; }
+  Bytes slot_size() const { return slot_size_; }
+  const std::vector<IndexedTensor>& tensors() const { return tensors_; }
+
+  const SlotHeader& slot(int i) const { return slots_.at(static_cast<std::size_t>(i)); }
+
+  // Double-mapping slot selection: the slot that is NOT the newest DONE
+  // version (overwriting the older/invalid version keeps one valid copy).
+  int pick_write_slot() const;
+  // The newest DONE slot, if any (restore source).
+  std::optional<int> latest_done_slot() const;
+  std::uint64_t max_epoch() const;
+
+  // Flip a slot's state (and epoch); persists the 24-byte header.
+  void set_slot(int i, SlotState state, std::uint64_t epoch);
+
+  // Drop a slot entirely (EMPTY, epoch 0, no data region) — repacker use.
+  // The TensorData extent must have been freed by the caller.
+  void clear_slot(int i);
+
+  // Re-provision a slot whose extent was reclaimed (data_offset == 0):
+  // allocates a fresh TensorData region so the double-mapping invariant
+  // holds again when a repacked model resumes training.
+  void ensure_slot(int i, PmemAllocator& allocator);
+
+  // Release both TensorData regions and the record itself.
+  void destroy(PmemAllocator& allocator);
+
+ private:
+  MIndex() = default;
+  void persist_slot_header(int i);
+
+  pmem::PmemDevice* device_ = nullptr;
+  Bytes record_offset_ = 0;
+  Bytes record_size_ = 0;
+  std::string model_name_;
+  bool phantom_ = false;
+  Bytes slot_size_ = 0;
+  std::vector<IndexedTensor> tensors_;
+  std::vector<SlotHeader> slots_;  // exactly 2
+};
+
+}  // namespace portus::core

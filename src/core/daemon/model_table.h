@@ -1,0 +1,63 @@
+// ModelTable + ModelMap: the root level of the three-level index.
+//
+// On PMEM, ModelTable is a fixed-capacity array of records
+// (model_name, info_offset) mapping every known model to its MIndex record.
+// In DRAM, ModelMap mirrors it as a red-black tree (std::map) for O(log n)
+// lookups; map values are persistent pointers (device offsets) into PMEM —
+// the dashed arrows of the paper's Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "pmem/pmem_device.h"
+
+namespace portus::core {
+
+class ModelTable {
+ public:
+  static constexpr Bytes kNameCapacity = 48;
+  static constexpr Bytes kEntrySize = 64;  // name[48] | info_offset u64 | state u32 | crc u32
+
+  ModelTable(pmem::PmemDevice& device, Bytes table_offset, std::uint32_t capacity);
+
+  // Insert or overwrite; persists the entry before returning.
+  void insert(const std::string& model_name, Bytes info_offset);
+  std::optional<Bytes> lookup(const std::string& model_name) const;
+  void remove(const std::string& model_name);
+
+  // Training-job lifecycle flag (persisted): FINISH_JOB marks the model so
+  // the repacker may reclaim its non-latest checkpoint version even after a
+  // daemon restart.
+  void set_finished(const std::string& model_name, bool finished = true);
+  bool is_finished(const std::string& model_name) const;
+
+  // Rebuild ModelMap from PMEM after a daemon restart.
+  void recover();
+
+  std::size_t size() const { return map_.size(); }
+  std::vector<std::string> names() const;
+  Bytes table_bytes() const { return static_cast<Bytes>(capacity_) * kEntrySize; }
+
+ private:
+  struct Slot {
+    std::string name;
+    Bytes info_offset = 0;
+    bool used = false;
+    bool finished = false;
+  };
+  void persist_slot(std::uint32_t index);
+
+  pmem::PmemDevice& device_;
+  Bytes table_offset_;
+  std::uint32_t capacity_;
+  std::vector<Slot> slots_;
+  // ModelMap: name -> (slot index, info_offset).
+  std::map<std::string, std::pair<std::uint32_t, Bytes>> map_;
+};
+
+}  // namespace portus::core

@@ -1,0 +1,53 @@
+#include "core/daemon/repacker.h"
+
+#include "common/logging.h"
+
+namespace portus::core {
+
+Repacker::Report Repacker::repack() {
+  Report report;
+  auto& table = daemon_.model_table();
+  auto& allocator = daemon_.allocator();
+
+  for (const auto& name : table.names()) {
+    // Prefer the live index (shares slot-header state with the daemon);
+    // fall back to loading from PMEM for models without a session.
+    MIndex* live = daemon_.find_live_index(name);
+    std::optional<MIndex> loaded;
+    if (live == nullptr) loaded.emplace(daemon_.load_index(name));
+    MIndex& index = live != nullptr ? *live : *loaded;
+
+    const bool finished =
+        daemon_.finished_models().contains(name) || table.is_finished(name);
+    const auto latest = index.latest_done_slot();
+
+    for (int i = 0; i < 2; ++i) {
+      const auto& slot = index.slot(i);
+      if (slot.data_offset == 0) continue;
+
+      const bool crashed_active =
+          slot.state == SlotState::kActive && live == nullptr;  // no running ckpt
+      const bool outdated = finished && (!latest.has_value() || i != *latest) &&
+                            slot.state != SlotState::kActive;
+
+      if (!crashed_active && !outdated) continue;
+
+      allocator.free(slot.data_offset);
+      index.clear_slot(i);
+      ++report.slots_cleared;
+      if (crashed_active) {
+        report.freed_crashed += index.slot_size();
+      } else {
+        report.freed_outdated += index.slot_size();
+      }
+    }
+  }
+
+  report.compacted = allocator.compact();
+  PLOG_INFO("repacker", "freed {} outdated + {} crashed, compacted {}",
+            format_bytes(report.freed_outdated), format_bytes(report.freed_crashed),
+            format_bytes(report.compacted));
+  return report;
+}
+
+}  // namespace portus::core

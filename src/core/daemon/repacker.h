@@ -1,0 +1,43 @@
+// Repacking tool (SS III-D2, Fig. 7): reclaims PMEM held by invalid
+// checkpoint versions.
+//
+// Two sources of garbage:
+//   (1) finished training jobs — only the newest DONE version matters; the
+//       other slot (older DONE / EMPTY) is outdated;
+//   (2) crashed checkpoints — a slot stuck ACTIVE (or recovered torn) holds
+//       incomplete data and can never be restored.
+//
+// Repacking frees those TensorData extents and compacts the allocator's
+// tail. It is a stop-the-world maintenance pass: the daemon must be
+// quiescent (the paper runs it "in the background ... when available space
+// is low", overlapped with training on other tenants).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "core/daemon/daemon.h"
+
+namespace portus::core {
+
+class Repacker {
+ public:
+  struct Report {
+    Bytes freed_outdated = 0;   // scenario (1)
+    Bytes freed_crashed = 0;    // scenario (2)
+    Bytes compacted = 0;        // returned to the bump region
+    int slots_cleared = 0;
+  };
+
+  explicit Repacker(PortusDaemon& daemon) : daemon_{daemon} {}
+
+  // Reclaim space. Slots of *finished* models that are not the newest DONE
+  // version are freed; ACTIVE slots of any model are freed (crash leftovers)
+  // unless the model has a live session with that checkpoint still running.
+  Report repack();
+
+ private:
+  PortusDaemon& daemon_;
+};
+
+}  // namespace portus::core

@@ -1,0 +1,26 @@
+#include "core/daemon/slots.h"
+
+namespace portus::core {
+
+CheckpointTxn CheckpointTxn::begin(MIndex& index) {
+  const int slot = index.pick_write_slot();
+  const std::uint64_t epoch = index.max_epoch() + 1;
+  // ACTIVE flag first, persisted, before any data lands: recovery must be
+  // able to tell "transmission started but did not finish".
+  index.set_slot(slot, SlotState::kActive, epoch);
+  return CheckpointTxn{index, slot, epoch};
+}
+
+CheckpointTxn::~CheckpointTxn() {
+  // Abort leaves the slot ACTIVE on purpose — identical to what a power
+  // failure produces. ACTIVE is never restorable and is reclaimed by the
+  // repacker or overwritten by the next checkpoint.
+}
+
+void CheckpointTxn::commit() {
+  if (committed_) return;
+  index_->set_slot(slot_, SlotState::kDone, epoch_);
+  committed_ = true;
+}
+
+}  // namespace portus::core

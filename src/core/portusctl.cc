@@ -1,0 +1,92 @@
+#include "core/portusctl.h"
+
+#include "common/strformat.h"
+
+namespace portus::core {
+
+std::vector<Portusctl::ModelInfo> Portusctl::view() {
+  std::vector<ModelInfo> out;
+  for (const auto& name : daemon_.model_table().names()) {
+    const MIndex* live = daemon_.find_live_index(name);
+    std::optional<MIndex> loaded;
+    if (live == nullptr) loaded.emplace(daemon_.load_index(name));
+    const MIndex& index = live != nullptr ? *live : *loaded;
+
+    ModelInfo info;
+    info.name = name;
+    info.layers = index.tensors().size();
+    info.slot_size = index.slot_size();
+    info.phantom = index.phantom();
+    for (int i = 0; i < 2; ++i) {
+      info.slots[i] = SlotInfo{index.slot(i).state, index.slot(i).epoch};
+    }
+    info.restorable = index.latest_done_slot().has_value();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string Portusctl::render_view() {
+  std::string out =
+      strf("{:<24}{:>8}{:>12}  {:<16}{:<16}{}\n", "MODEL", "LAYERS", "SLOT-SIZE",
+           "SLOT0", "SLOT1", "RESTORABLE");
+  for (const auto& m : view()) {
+    out += strf("{:<24}{:>8}{:>12}  {:<16}{:<16}{}\n", m.name, m.layers,
+                format_bytes(m.slot_size),
+                strf("{}@{}", to_string(m.slots[0].state), m.slots[0].epoch),
+                strf("{}@{}", to_string(m.slots[1].state), m.slots[1].epoch),
+                m.restorable ? "yes" : "NO");
+  }
+  return out;
+}
+
+sim::SubTask<storage::CheckpointFile> Portusctl::dump(const std::string& model_name) {
+  const MIndex* live = daemon_.find_live_index(model_name);
+  std::optional<MIndex> loaded;
+  if (live == nullptr) loaded.emplace(daemon_.load_index(model_name));
+  const MIndex& index = live != nullptr ? *live : *loaded;
+
+  const auto slot_idx = index.latest_done_slot();
+  if (!slot_idx.has_value()) throw NotFound("no restorable version of " + model_name);
+  const auto& slot = index.slot(*slot_idx);
+
+  auto& device = daemon_.device();
+  auto& engine = daemon_.node().engine();
+
+  storage::CheckpointFile file;
+  file.model_name = model_name;
+
+  Bytes total = 0;
+  for (const auto& t : index.tensors()) total += t.size;
+
+  // PMEM read of the whole slot + CPU packing into the container format —
+  // this is the only place Portus ever serializes, and it is off the
+  // training path (SS VI "Lessons", serialization only on archive/share).
+  co_await daemon_.node().devdax_read_channel().transfer(total);
+  co_await engine.sleep(daemon_.node().serialize_time(total));
+
+  for (const auto& t : index.tensors()) {
+    storage::SerializedTensor st;
+    st.meta.name = t.name;
+    st.meta.dtype = t.dtype;
+    st.meta.shape = t.shape;
+    if (!index.phantom()) {
+      st.data = device.read(slot.data_offset + t.offset_in_slot, t.size);
+    } else {
+      st.data.assign(t.size, std::byte{0});
+    }
+    file.tensors.push_back(std::move(st));
+  }
+  co_return file;
+}
+
+sim::SubTask<Bytes> Portusctl::dump_to(const std::string& model_name,
+                                       storage::CheckpointStorage& storage,
+                                       std::string path) {
+  auto file = co_await dump(model_name);
+  const auto container = storage::CheckpointSerializer::serialize(file);
+  co_await storage.write_file(std::move(path), container.size(), &container);
+  co_return container.size();
+}
+
+}  // namespace portus::core

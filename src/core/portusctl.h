@@ -1,0 +1,61 @@
+// Portusctl: management/sharing tool (SS IV-b).
+//
+//   portusctl view DEVICE            -> list models stored on a PMEM device
+//   portusctl dump CHECKPOINT FILE   -> export a checkpoint out of the
+//                                       three-level index as a portable
+//                                       container ("PTCK", readable by any
+//                                       framework-side loader)
+//   portusctl repack DEVICE          -> reclaim invalid checkpoint versions
+//
+// This header is the library behind the CLI in tools/portusctl_main.cc; the
+// admin runs it on the storage node against a (quiesced) daemon.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/daemon/daemon.h"
+#include "core/daemon/repacker.h"
+#include "storage/filesystem.h"
+#include "storage/serializer.h"
+
+namespace portus::core {
+
+class Portusctl {
+ public:
+  struct SlotInfo {
+    SlotState state = SlotState::kEmpty;
+    std::uint64_t epoch = 0;
+  };
+  struct ModelInfo {
+    std::string name;
+    std::size_t layers = 0;
+    Bytes slot_size = 0;
+    bool phantom = false;
+    SlotInfo slots[2];
+    bool restorable = false;  // has at least one DONE version
+  };
+
+  explicit Portusctl(PortusDaemon& daemon) : daemon_{daemon} {}
+
+  // `portusctl view`: every model in the ModelTable with its slot states.
+  std::vector<ModelInfo> view();
+  std::string render_view();  // human-readable table
+
+  // `portusctl dump`: read the newest DONE version's TensorData out of PMEM
+  // and serialize it into the portable container format. Charges PMEM read
+  // + CPU serialization time.
+  sim::SubTask<storage::CheckpointFile> dump(const std::string& model_name);
+
+  // Dump straight into a filesystem file (e.g. for sharing over Lustre).
+  sim::SubTask<Bytes> dump_to(const std::string& model_name,
+                              storage::CheckpointStorage& storage, std::string path);
+
+  // `portusctl repack`.
+  Repacker::Report repack() { return Repacker{daemon_}.repack(); }
+
+ private:
+  PortusDaemon& daemon_;
+};
+
+}  // namespace portus::core

@@ -1,0 +1,190 @@
+#include "core/protocol.h"
+
+namespace portus::core {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kRegisterModel: return "REGISTER_MODEL";
+    case MsgType::kRegisterAck: return "REGISTER_ACK";
+    case MsgType::kCheckpointReq: return "DO_CHECKPOINT";
+    case MsgType::kCheckpointDone: return "CHECKPOINT_DONE";
+    case MsgType::kRestoreReq: return "DO_RESTORE";
+    case MsgType::kRestoreDone: return "RESTORE_DONE";
+    case MsgType::kFinishJob: return "FINISH_JOB";
+    case MsgType::kFinishAck: return "FINISH_ACK";
+    case MsgType::kError: return "ERROR";
+  }
+  return "?";
+}
+
+MsgType decode_type(std::span<const std::byte> wire) {
+  BinaryReader r{wire};
+  return static_cast<MsgType>(r.u8());
+}
+
+namespace {
+
+BinaryReader body_reader(std::span<const std::byte> wire, MsgType expected) {
+  BinaryReader r{wire};
+  const auto tag = static_cast<MsgType>(r.u8());
+  if (tag != expected) {
+    throw Corruption(std::string{"expected "} + to_string(expected) + ", got " +
+                     to_string(tag));
+  }
+  return r;
+}
+
+void put_status(BinaryWriter& w, bool ok, const std::string& error) {
+  w.u8(ok ? 1 : 0);
+  w.str(error);
+}
+
+}  // namespace
+
+std::vector<std::byte> encode(const RegisterModelMsg& m) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRegisterModel));
+  w.str(m.model_name);
+  w.u64(m.qp_token);
+  w.u8(m.phantom ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(m.tensors.size()));
+  for (const auto& t : m.tensors) {
+    w.str(t.name);
+    w.u8(static_cast<std::uint8_t>(t.dtype));
+    w.u32(static_cast<std::uint32_t>(t.shape.size()));
+    for (const auto d : t.shape) w.i64(d);
+    w.u64(t.size);
+    w.u64(t.gpu_addr);
+    w.u32(t.rkey);
+  }
+  return w.take();
+}
+
+RegisterModelMsg decode_register_model(std::span<const std::byte> wire) {
+  auto r = body_reader(wire, MsgType::kRegisterModel);
+  RegisterModelMsg m;
+  m.model_name = r.str();
+  m.qp_token = r.u64();
+  m.phantom = r.u8() != 0;
+  const auto count = r.u32();
+  m.tensors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TensorDesc t;
+    t.name = r.str();
+    t.dtype = static_cast<dnn::DType>(r.u8());
+    const auto ndim = r.u32();
+    if (ndim > 16) throw Corruption("implausible tensor rank in registration");
+    t.shape.resize(ndim);
+    for (auto& d : t.shape) d = r.i64();
+    t.size = r.u64();
+    t.gpu_addr = r.u64();
+    t.rkey = r.u32();
+    m.tensors.push_back(std::move(t));
+  }
+  return m;
+}
+
+std::vector<std::byte> encode(const RegisterAckMsg& m) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRegisterAck));
+  put_status(w, m.ok, m.error);
+  return w.take();
+}
+
+RegisterAckMsg decode_register_ack(std::span<const std::byte> wire) {
+  auto r = body_reader(wire, MsgType::kRegisterAck);
+  RegisterAckMsg m;
+  m.ok = r.u8() != 0;
+  m.error = r.str();
+  return m;
+}
+
+std::vector<std::byte> encode(const CheckpointReqMsg& m) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kCheckpointReq));
+  w.str(m.model_name);
+  w.u64(m.iteration);
+  w.u32(static_cast<std::uint32_t>(m.dirty_indices.size()));
+  for (const auto i : m.dirty_indices) w.u32(i);
+  return w.take();
+}
+
+CheckpointReqMsg decode_checkpoint_req(std::span<const std::byte> wire) {
+  auto r = body_reader(wire, MsgType::kCheckpointReq);
+  CheckpointReqMsg m;
+  m.model_name = r.str();
+  m.iteration = r.u64();
+  const auto n = r.u32();
+  if (n > 1u << 20) throw Corruption("implausible dirty-set size");
+  m.dirty_indices.resize(n);
+  for (auto& i : m.dirty_indices) i = r.u32();
+  return m;
+}
+
+std::vector<std::byte> encode(const CheckpointDoneMsg& m) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kCheckpointDone));
+  w.str(m.model_name);
+  w.u64(m.epoch);
+  put_status(w, m.ok, m.error);
+  return w.take();
+}
+
+CheckpointDoneMsg decode_checkpoint_done(std::span<const std::byte> wire) {
+  auto r = body_reader(wire, MsgType::kCheckpointDone);
+  CheckpointDoneMsg m;
+  m.model_name = r.str();
+  m.epoch = r.u64();
+  m.ok = r.u8() != 0;
+  m.error = r.str();
+  return m;
+}
+
+std::vector<std::byte> encode(const RestoreReqMsg& m) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRestoreReq));
+  w.str(m.model_name);
+  return w.take();
+}
+
+RestoreReqMsg decode_restore_req(std::span<const std::byte> wire) {
+  auto r = body_reader(wire, MsgType::kRestoreReq);
+  RestoreReqMsg m;
+  m.model_name = r.str();
+  return m;
+}
+
+std::vector<std::byte> encode(const RestoreDoneMsg& m) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kRestoreDone));
+  w.str(m.model_name);
+  w.u64(m.epoch);
+  put_status(w, m.ok, m.error);
+  return w.take();
+}
+
+RestoreDoneMsg decode_restore_done(std::span<const std::byte> wire) {
+  auto r = body_reader(wire, MsgType::kRestoreDone);
+  RestoreDoneMsg m;
+  m.model_name = r.str();
+  m.epoch = r.u64();
+  m.ok = r.u8() != 0;
+  m.error = r.str();
+  return m;
+}
+
+std::vector<std::byte> encode(const FinishJobMsg& m) {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kFinishJob));
+  w.str(m.model_name);
+  return w.take();
+}
+
+FinishJobMsg decode_finish_job(std::span<const std::byte> wire) {
+  auto r = body_reader(wire, MsgType::kFinishJob);
+  FinishJobMsg m;
+  m.model_name = r.str();
+  return m;
+}
+
+}  // namespace portus::core

@@ -1,0 +1,142 @@
+// Portus control-plane protocol (client <-> daemon over TCP/IPoIB).
+//
+// Registration ships the full model description — for every tensor: layer
+// name, dtype, shape, byte size, GPU address, and the rkey of its RDMA
+// memory region — so the daemon can lay out the checkpoint structure on
+// PMEM *before* the first training iteration (SS III-C). After that the
+// control plane only carries one-word triggers ("DO_CHECKPOINT",
+// "DO_RESTORE") and completion notifications; all tensor bytes move
+// peer-to-peer over RDMA.
+//
+// QP rendezvous: real deployments exchange QP numbers/GIDs through RDMA CM;
+// in the simulation the registration packet carries an opaque `qp_token`
+// that the daemon resolves through QpRendezvous to obtain the client's
+// QueuePair and complete the RC connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/units.h"
+#include "dnn/dtype.h"
+#include "rdma/queue_pair.h"
+
+namespace portus::core {
+
+enum class MsgType : std::uint8_t {
+  kRegisterModel = 1,
+  kRegisterAck = 2,
+  kCheckpointReq = 3,   // "DO_CHECKPOINT"
+  kCheckpointDone = 4,
+  kRestoreReq = 5,      // "DO_RESTORE"
+  kRestoreDone = 6,
+  kFinishJob = 7,       // training complete: old checkpoint version reclaimable
+  kFinishAck = 8,
+  kError = 9,
+};
+
+const char* to_string(MsgType t);
+
+struct TensorDesc {
+  std::string name;
+  dnn::DType dtype = dnn::DType::kF32;
+  std::vector<std::int64_t> shape;
+  Bytes size = 0;
+  std::uint64_t gpu_addr = 0;
+  std::uint32_t rkey = 0;
+};
+
+struct RegisterModelMsg {
+  std::string model_name;
+  std::uint64_t qp_token = 0;
+  bool phantom = false;
+  std::vector<TensorDesc> tensors;
+
+  Bytes total_bytes() const {
+    Bytes n = 0;
+    for (const auto& t : tensors) n += t.size;
+    return n;
+  }
+};
+
+struct RegisterAckMsg {
+  bool ok = false;
+  std::string error;
+};
+
+struct CheckpointReqMsg {
+  std::string model_name;
+  std::uint64_t iteration = 0;
+  // Incremental checkpointing (Check-N-Run-style extension): when non-empty,
+  // only these tensor indices changed since the previous version; the daemon
+  // pulls them over RDMA and copies the rest PMEM-locally from the last DONE
+  // slot. Empty = full checkpoint.
+  std::vector<std::uint32_t> dirty_indices;
+};
+
+struct CheckpointDoneMsg {
+  std::string model_name;
+  std::uint64_t epoch = 0;
+  bool ok = false;
+  std::string error;
+};
+
+struct RestoreReqMsg {
+  std::string model_name;
+};
+
+struct RestoreDoneMsg {
+  std::string model_name;
+  std::uint64_t epoch = 0;
+  bool ok = false;
+  std::string error;
+};
+
+struct FinishJobMsg {
+  std::string model_name;
+};
+
+// --- encoding ---------------------------------------------------------------
+// Every wire message is [u8 MsgType][body...]. decode_type() peeks the tag.
+
+MsgType decode_type(std::span<const std::byte> wire);
+
+std::vector<std::byte> encode(const RegisterModelMsg& m);
+std::vector<std::byte> encode(const RegisterAckMsg& m);
+std::vector<std::byte> encode(const CheckpointReqMsg& m);
+std::vector<std::byte> encode(const CheckpointDoneMsg& m);
+std::vector<std::byte> encode(const RestoreReqMsg& m);
+std::vector<std::byte> encode(const RestoreDoneMsg& m);
+std::vector<std::byte> encode(const FinishJobMsg& m);
+
+RegisterModelMsg decode_register_model(std::span<const std::byte> wire);
+RegisterAckMsg decode_register_ack(std::span<const std::byte> wire);
+CheckpointReqMsg decode_checkpoint_req(std::span<const std::byte> wire);
+CheckpointDoneMsg decode_checkpoint_done(std::span<const std::byte> wire);
+RestoreReqMsg decode_restore_req(std::span<const std::byte> wire);
+RestoreDoneMsg decode_restore_done(std::span<const std::byte> wire);
+FinishJobMsg decode_finish_job(std::span<const std::byte> wire);
+
+// --- QP rendezvous (simulation analogue of RDMA CM) -------------------------
+class QpRendezvous {
+ public:
+  std::uint64_t publish(rdma::QueuePair& qp) {
+    const auto token = next_token_++;
+    qps_.emplace(token, &qp);
+    return token;
+  }
+  rdma::QueuePair& resolve(std::uint64_t token) const {
+    const auto it = qps_.find(token);
+    if (it == qps_.end()) throw NotFound("unknown QP token");
+    return *it->second;
+  }
+
+ private:
+  std::uint64_t next_token_ = 0xCAFE0000ull;
+  std::unordered_map<std::uint64_t, rdma::QueuePair*> qps_;
+};
+
+}  // namespace portus::core

@@ -1,0 +1,41 @@
+#include "dnn/dtype.h"
+
+#include "common/error.h"
+
+namespace portus::dnn {
+
+Bytes size_of(DType t) {
+  switch (t) {
+    case DType::kF32: return 4;
+    case DType::kF16: return 2;
+    case DType::kBF16: return 2;
+    case DType::kI64: return 8;
+    case DType::kI32: return 4;
+    case DType::kU8: return 1;
+  }
+  throw InvalidArgument("unknown dtype");
+}
+
+const char* to_string(DType t) {
+  switch (t) {
+    case DType::kF32: return "float32";
+    case DType::kF16: return "float16";
+    case DType::kBF16: return "bfloat16";
+    case DType::kI64: return "int64";
+    case DType::kI32: return "int32";
+    case DType::kU8: return "uint8";
+  }
+  return "?";
+}
+
+DType dtype_from_string(std::string_view s) {
+  if (s == "float32") return DType::kF32;
+  if (s == "float16") return DType::kF16;
+  if (s == "bfloat16") return DType::kBF16;
+  if (s == "int64") return DType::kI64;
+  if (s == "int32") return DType::kI32;
+  if (s == "uint8") return DType::kU8;
+  throw InvalidArgument("unknown dtype string");
+}
+
+}  // namespace portus::dnn

@@ -1,0 +1,24 @@
+// Tensor element types.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace portus::dnn {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,
+  kF16 = 1,
+  kBF16 = 2,
+  kI64 = 3,
+  kI32 = 4,
+  kU8 = 5,
+};
+
+Bytes size_of(DType t);
+const char* to_string(DType t);
+DType dtype_from_string(std::string_view s);
+
+}  // namespace portus::dnn

@@ -1,0 +1,39 @@
+#include "dnn/model.h"
+
+#include "common/crc32.h"
+#include "common/rng.h"
+
+namespace portus::dnn {
+
+void Model::randomize_weights(std::uint64_t seed) {
+  Rng rng{seed};
+  for (auto& t : tensors_) {
+    if (t.phantom()) continue;
+    std::vector<std::byte> data(t.byte_size());
+    rng.fill(data);
+    t.buffer().upload(data);
+  }
+}
+
+void Model::mutate_weights(std::uint64_t iteration) {
+  for (std::size_t i = 0; i < tensors_.size(); ++i) {
+    auto& t = tensors_[i];
+    if (t.phantom()) continue;
+    Rng rng{iteration * 1000003 + i};
+    std::vector<std::byte> patch(std::min<Bytes>(t.byte_size(), 256));
+    rng.fill(patch);
+    t.buffer().segment().write(t.buffer().offset(), patch);
+  }
+}
+
+std::uint32_t Model::weights_crc() const {
+  Crc32 crc;
+  for (const auto& t : tensors_) {
+    if (t.phantom()) continue;
+    const auto c = t.buffer().segment().crc(t.buffer().offset(), t.byte_size());
+    crc.update(&c, sizeof c);
+  }
+  return crc.value();
+}
+
+}  // namespace portus::dnn

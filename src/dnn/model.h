@@ -1,0 +1,61 @@
+// A DNN model instance resident on one GPU: an ordered list of named
+// parameter tensors (and optionally optimizer-state tensors), pre-allocated
+// in device memory the way PyTorch lays out a module before training starts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dnn/tensor.h"
+#include "gpu/gpu_device.h"
+
+namespace portus::dnn {
+
+class Model {
+ public:
+  Model(std::string name, gpu::GpuDevice& gpu) : name_{std::move(name)}, gpu_{&gpu} {}
+
+  const std::string& name() const { return name_; }
+  gpu::GpuDevice& gpu() { return *gpu_; }
+
+  void add_tensor(TensorMeta meta, bool phantom) {
+    auto buffer = gpu_->alloc(meta.byte_size(), phantom);
+    tensors_.emplace_back(std::move(meta), buffer);
+  }
+
+  std::size_t layer_count() const { return tensors_.size(); }
+  std::vector<Tensor>& tensors() { return tensors_; }
+  const std::vector<Tensor>& tensors() const { return tensors_; }
+  Tensor& tensor(std::size_t i) { return tensors_.at(i); }
+
+  Bytes total_bytes() const {
+    Bytes total = 0;
+    for (const auto& t : tensors_) total += t.byte_size();
+    return total;
+  }
+
+  bool phantom() const {
+    return !tensors_.empty() && tensors_.front().phantom();
+  }
+
+  // Deterministically initialize all (non-phantom) weights; seed varies the
+  // contents so different "training states" are distinguishable in tests.
+  void randomize_weights(std::uint64_t seed);
+
+  // Simulate one optimizer step: perturb every tensor's contents (cheaply:
+  // first page only) so that checkpoint versions differ across iterations.
+  void mutate_weights(std::uint64_t iteration);
+
+  // Aggregate CRC over all tensors, in order (restore verification).
+  std::uint32_t weights_crc() const;
+
+ private:
+  std::string name_;
+  gpu::GpuDevice* gpu_;
+  std::vector<Tensor> tensors_;
+};
+
+}  // namespace portus::dnn

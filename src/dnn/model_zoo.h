@@ -1,0 +1,59 @@
+// Model zoo: synthetic models matching the paper's Table II plus the
+// Megatron GPT configurations of SS V-E (1.5B..22.4B parameters).
+//
+// Layer *sizes* are generated deterministically from the model name so that
+// every run sees the same tensor layout; totals match the paper's reported
+// checkpoint sizes. Models larger than the phantom threshold get phantom
+// payloads (timing without byte movement) unless the caller forces real
+// contents.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dnn/model.h"
+#include "gpu/gpu_device.h"
+
+namespace portus::dnn {
+
+struct ModelSpec {
+  std::string name;
+  int layers = 0;            // number of parameter tensors
+  double params_millions = 0.0;
+  Bytes checkpoint_bytes = 0;
+  Duration iteration_time{};    // one training iteration on the paper's GPUs
+  double update_fraction = 0.08;  // share of the iteration that mutates weights
+  double busy_fraction = 0.85;    // SM occupancy during compute phases
+};
+
+class ModelZoo {
+ public:
+  struct Options {
+    double scale = 1.0;        // shrink factor for fast functional tests
+    bool force_phantom = false;
+    bool force_real = false;
+    std::uint64_t weight_seed = 1;
+  };
+
+  // Payloads above this threshold default to phantom (no real bytes).
+  static constexpr Bytes kPhantomThreshold = 1536_MiB;
+
+  static const std::vector<ModelSpec>& all();
+  static const ModelSpec& spec(const std::string& name);
+  static bool has(const std::string& name);
+
+  static Model create(gpu::GpuDevice& gpu, const std::string& name, Options options);
+  static Model create(gpu::GpuDevice& gpu, const std::string& name) {
+    return create(gpu, name, Options{});
+  }
+  static Model create_from_spec(gpu::GpuDevice& gpu, const ModelSpec& spec, Options options);
+  static Model create_from_spec(gpu::GpuDevice& gpu, const ModelSpec& spec) {
+    return create_from_spec(gpu, spec, Options{});
+  }
+
+  // The seven representative models of Table II, in the paper's order.
+  static std::vector<std::string> table2_names();
+};
+
+}  // namespace portus::dnn

@@ -1,0 +1,47 @@
+#include "dnn/optimizer.h"
+
+#include "common/error.h"
+
+namespace portus::dnn {
+
+const char* to_string(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kNone: return "none";
+    case OptimizerKind::kSgdMomentum: return "sgd-momentum";
+    case OptimizerKind::kAdam: return "adam";
+  }
+  return "?";
+}
+
+double state_multiplier(OptimizerKind kind) {
+  switch (kind) {
+    case OptimizerKind::kNone: return 0.0;
+    case OptimizerKind::kSgdMomentum: return 1.0;
+    case OptimizerKind::kAdam: return 2.0;
+  }
+  throw InvalidArgument("unknown optimizer kind");
+}
+
+void attach_optimizer_state(Model& model, OptimizerKind kind) {
+  if (kind == OptimizerKind::kNone) return;
+  // Snapshot the current parameter list; we append below.
+  const std::size_t param_count = model.layer_count();
+  for (std::size_t i = 0; i < param_count; ++i) {
+    const auto& param = model.tensor(i);
+    const bool phantom = param.phantom();
+    if (kind == OptimizerKind::kSgdMomentum) {
+      TensorMeta meta = param.meta();
+      meta.name += ".momentum";
+      model.add_tensor(std::move(meta), phantom);
+    } else {
+      TensorMeta m1 = param.meta();
+      m1.name += ".exp_avg";
+      model.add_tensor(std::move(m1), phantom);
+      TensorMeta m2 = param.meta();
+      m2.name += ".exp_avg_sq";
+      model.add_tensor(std::move(m2), phantom);
+    }
+  }
+}
+
+}  // namespace portus::dnn

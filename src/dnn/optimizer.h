@@ -1,0 +1,23 @@
+// Optimizer state. A checkpoint of a training job covers parameters plus
+// optimizer state; the paper's Table II sizes are parameter-only, so the
+// zoo's defaults match that, and callers opt in to optimizer tensors when an
+// experiment needs the full training state.
+#pragma once
+
+#include "dnn/model.h"
+
+namespace portus::dnn {
+
+enum class OptimizerKind : std::uint8_t { kNone, kSgdMomentum, kAdam };
+
+const char* to_string(OptimizerKind kind);
+
+// Extra state as a multiple of parameter bytes: momentum 1x, Adam 2x.
+double state_multiplier(OptimizerKind kind);
+
+// Appends per-parameter optimizer-state tensors to the model (momentum /
+// exp_avg + exp_avg_sq), allocated on the same GPU with the same phantom
+// setting as the parameters they shadow.
+void attach_optimizer_state(Model& model, OptimizerKind kind);
+
+}  // namespace portus::dnn

@@ -1,0 +1,55 @@
+#include "dnn/parallel.h"
+
+#include "common/error.h"
+#include "common/strformat.h"
+
+namespace portus::dnn {
+
+MegatronPartitioner::MegatronPartitioner(int tensor_parallel, int pipeline_parallel)
+    : tp_{tensor_parallel}, pp_{pipeline_parallel} {
+  PORTUS_CHECK_ARG(tp_ >= 1 && pp_ >= 1, "parallel degrees must be >= 1");
+}
+
+std::vector<ShardSpec> MegatronPartitioner::partition(const ModelSpec& full) const {
+  PORTUS_CHECK_ARG(full.layers >= pp_, "fewer layers than pipeline stages");
+
+  std::vector<ShardSpec> shards;
+  shards.reserve(static_cast<std::size_t>(world_size()));
+
+  // Pipeline stages take contiguous layer blocks (remainder to the early
+  // stages, like Megatron); TP then splits each stage's bytes evenly.
+  Bytes bytes_assigned = 0;
+  int layers_assigned = 0;
+  int rank = 0;
+  for (int pp = 0; pp < pp_; ++pp) {
+    const int stage_layers = full.layers / pp_ + (pp < full.layers % pp_ ? 1 : 0);
+    const Bytes stage_bytes =
+        pp + 1 == pp_ ? full.checkpoint_bytes - bytes_assigned
+                      : static_cast<Bytes>(static_cast<double>(full.checkpoint_bytes) *
+                                           stage_layers / full.layers);
+    bytes_assigned += stage_bytes;
+    layers_assigned += stage_layers;
+
+    Bytes tp_assigned = 0;
+    for (int tp = 0; tp < tp_; ++tp) {
+      const Bytes shard_bytes = tp + 1 == tp_
+                                    ? stage_bytes - tp_assigned
+                                    : stage_bytes / static_cast<Bytes>(tp_);
+      tp_assigned += shard_bytes;
+
+      ModelSpec shard = full;
+      shard.name = strf("{}/tp{}-pp{}", full.name, tp, pp);
+      shard.layers = stage_layers;
+      shard.checkpoint_bytes = shard_bytes;
+      shard.params_millions = full.params_millions * static_cast<double>(shard_bytes) /
+                              static_cast<double>(full.checkpoint_bytes);
+      shards.push_back(ShardSpec{.global_rank = rank++, .tp_rank = tp, .pp_rank = pp,
+                                 .spec = std::move(shard)});
+    }
+  }
+  PORTUS_CHECK(layers_assigned == full.layers, "pipeline stage layer mismatch");
+  PORTUS_CHECK(bytes_assigned == full.checkpoint_bytes, "shard byte accounting mismatch");
+  return shards;
+}
+
+}  // namespace portus::dnn

@@ -1,0 +1,42 @@
+// Megatron-style model parallelism: tensor parallel (TP) splits every
+// weight matrix across GPUs within a node, pipeline parallel (PP) splits
+// layer blocks across nodes (Fig. 1 of the paper).
+//
+// For checkpointing, what matters is the *shard structure*: every rank owns
+// a disjoint slice of the model and dumps its own checkpoint; restoring
+// requires the complete set. The partitioner turns a full-model spec into
+// per-rank shard specs whose bytes sum exactly to the original.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dnn/model_zoo.h"
+
+namespace portus::dnn {
+
+struct ShardSpec {
+  int global_rank = 0;
+  int tp_rank = 0;
+  int pp_rank = 0;
+  ModelSpec spec;  // spec.name carries the rank suffix, e.g. "gpt-22.4b/tp0-pp1"
+};
+
+class MegatronPartitioner {
+ public:
+  MegatronPartitioner(int tensor_parallel, int pipeline_parallel);
+
+  int tensor_parallel() const { return tp_; }
+  int pipeline_parallel() const { return pp_; }
+  int world_size() const { return tp_ * pp_; }
+
+  // Shards ordered by global rank (pp-major, matching Megatron's grid).
+  std::vector<ShardSpec> partition(const ModelSpec& full) const;
+
+ private:
+  int tp_;
+  int pp_;
+};
+
+}  // namespace portus::dnn

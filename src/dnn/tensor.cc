@@ -1,0 +1,17 @@
+#include "dnn/tensor.h"
+
+#include "common/strformat.h"
+
+namespace portus::dnn {
+
+std::string TensorMeta::shape_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += strf("{}", shape[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace portus::dnn

@@ -1,0 +1,50 @@
+// Tensors: metadata plus a GPU device buffer.
+//
+// The metadata mirrors what Portus Client ships to the daemon in a MIndex
+// record: layer name, dtype, shape, byte size, and the device address the
+// NIC will pull from.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "dnn/dtype.h"
+#include "gpu/gpu_device.h"
+
+namespace portus::dnn {
+
+struct TensorMeta {
+  std::string name;
+  DType dtype = DType::kF32;
+  std::vector<std::int64_t> shape;
+
+  std::int64_t element_count() const {
+    return std::accumulate(shape.begin(), shape.end(), std::int64_t{1},
+                           [](std::int64_t a, std::int64_t b) { return a * b; });
+  }
+  Bytes byte_size() const {
+    return static_cast<Bytes>(element_count()) * size_of(dtype);
+  }
+  std::string shape_string() const;
+};
+
+class Tensor {
+ public:
+  Tensor(TensorMeta meta, gpu::DeviceBuffer buffer) : meta_{std::move(meta)}, buffer_{buffer} {}
+
+  const TensorMeta& meta() const { return meta_; }
+  const std::string& name() const { return meta_.name; }
+  Bytes byte_size() const { return meta_.byte_size(); }
+  gpu::DeviceBuffer& buffer() { return buffer_; }
+  const gpu::DeviceBuffer& buffer() const { return buffer_; }
+  bool phantom() const { return buffer_.phantom(); }
+
+ private:
+  TensorMeta meta_;
+  gpu::DeviceBuffer buffer_;
+};
+
+}  // namespace portus::dnn

@@ -1,0 +1,68 @@
+#include "dnn/training.h"
+
+#include "common/error.h"
+
+namespace portus::dnn {
+
+sim::SubTask<> NoCheckpoint::on_iteration_end(std::uint64_t) { co_return; }
+sim::SubTask<> NoCheckpoint::before_update(std::uint64_t) { co_return; }
+
+sim::Process train(sim::Engine& engine, gpu::GpuDevice& gpu, Model* model,
+                   TrainingConfig config, std::uint64_t iterations, CheckpointHook& hook,
+                   TrainingStats& stats) {
+  PORTUS_CHECK_ARG(config.iteration_time > kZeroDuration, "iteration time must be positive");
+  PORTUS_CHECK_ARG(config.update_fraction > 0.0 && config.update_fraction < 1.0,
+                   "update fraction must be in (0, 1)");
+
+  const auto update_time = std::chrono::duration_cast<Duration>(
+      config.iteration_time * config.update_fraction);
+  const auto fb_time = config.iteration_time - update_time;
+
+  const auto traced_span = [&](const char* label) {
+    return config.tracer != nullptr
+               ? config.tracer->span(label, config.trace_track)
+               : sim::Tracer::Span{};
+  };
+
+  stats.started = engine.now();
+  for (std::uint64_t iter = 1; iter <= iterations; ++iter) {
+    // Forward + backward: weights stable, SMs busy.
+    {
+      auto span = traced_span("F+B");
+      gpu.mark_compute_busy(
+          std::chrono::duration_cast<Duration>(fb_time * config.busy_fraction));
+      co_await engine.sleep(fb_time);
+    }
+
+    // Any in-flight snapshot of the weights must finish before U mutates them.
+    {
+      const Time t0 = engine.now();
+      auto span = traced_span("stall:before-update");
+      co_await hook.before_update(iter);
+      stats.checkpoint_stall += engine.now() - t0;
+    }
+
+    // Parameter update.
+    {
+      auto span = traced_span("U");
+      gpu.mark_compute_busy(
+          std::chrono::duration_cast<Duration>(update_time * config.busy_fraction));
+      co_await engine.sleep(update_time);
+    }
+    if (model != nullptr && config.mutate_weights && !model->phantom()) {
+      model->mutate_weights(iter);
+    }
+
+    // Checkpoint trigger point (weights now quiescent until the next U).
+    {
+      const Time t0 = engine.now();
+      auto span = traced_span("stall:checkpoint");
+      co_await hook.on_iteration_end(iter);
+      stats.checkpoint_stall += engine.now() - t0;
+    }
+    stats.iterations_done = iter;
+  }
+  stats.finished = engine.now();
+}
+
+}  // namespace portus::dnn

@@ -1,0 +1,44 @@
+#include "gpu/copy_engine.h"
+
+namespace portus::gpu {
+
+namespace {
+
+sim::SubTask<> timed_transfer(GpuDevice& gpu, Bytes bytes, Bandwidth cap) {
+  co_await gpu.engine().sleep(CopyEngine::kLaunchLatency);
+  co_await gpu.pcie().transfer(bytes, cap);
+}
+
+}  // namespace
+
+sim::SubTask<> CopyEngine::dtoh(DeviceBuffer src, mem::MemorySegment& dst, Bytes dst_offset,
+                                bool pinned) {
+  PORTUS_CHECK_ARG(src.valid(), "dtoh from invalid buffer");
+  const auto cap = pinned ? gpu_->spec().dtoh_pinned : gpu_->spec().dtoh_pageable;
+  co_await timed_transfer(*gpu_, src.size(), cap);
+  if (!src.phantom()) {
+    mem::copy_bytes(dst, dst_offset, src.segment(), src.offset(), src.size());
+  }
+}
+
+sim::SubTask<> CopyEngine::htod(const mem::MemorySegment& src, Bytes src_offset,
+                                DeviceBuffer dst, bool pinned) {
+  PORTUS_CHECK_ARG(dst.valid(), "htod to invalid buffer");
+  const auto cap = pinned ? gpu_->spec().htod : min(gpu_->spec().htod, gpu_->spec().dtoh_pageable);
+  co_await timed_transfer(*gpu_, dst.size(), cap);
+  if (!dst.phantom()) {
+    mem::copy_bytes(dst.segment(), dst.offset(), src, src_offset, dst.size());
+  }
+}
+
+sim::SubTask<> CopyEngine::dtoh_time_only(Bytes bytes, bool pinned) {
+  const auto cap = pinned ? gpu_->spec().dtoh_pinned : gpu_->spec().dtoh_pageable;
+  co_await timed_transfer(*gpu_, bytes, cap);
+}
+
+sim::SubTask<> CopyEngine::htod_time_only(Bytes bytes, bool pinned) {
+  const auto cap = pinned ? gpu_->spec().htod : min(gpu_->spec().htod, gpu_->spec().dtoh_pageable);
+  co_await timed_transfer(*gpu_, bytes, cap);
+}
+
+}  // namespace portus::gpu

@@ -1,0 +1,40 @@
+// Simulated cudaMemcpy: host<->device copies over the GPU's PCIe link.
+//
+// This is the "GPU to Main Memory" stage of the traditional checkpointing
+// path (Table I: 15.5% of checkpoint time). torch.save()-style baselines use
+// *pageable* staging buffers (~4.1 GB/s); CheckFreq-style snapshots use
+// pinned buffers. Copies contend on the per-GPU PCIe channel, so an async
+// snapshot overlapping training shares the link realistically.
+#pragma once
+
+#include "common/units.h"
+#include "gpu/gpu_device.h"
+#include "mem/segment.h"
+#include "sim/task.h"
+
+namespace portus::gpu {
+
+class CopyEngine {
+ public:
+  explicit CopyEngine(GpuDevice& gpu) : gpu_{&gpu} {}
+
+  // Device -> host. Moves real bytes unless the buffer is phantom.
+  sim::SubTask<> dtoh(DeviceBuffer src, mem::MemorySegment& dst, Bytes dst_offset,
+                      bool pinned = false);
+
+  // Host -> device.
+  sim::SubTask<> htod(const mem::MemorySegment& src, Bytes src_offset, DeviceBuffer dst,
+                      bool pinned = false);
+
+  // Pure-time variants used when the host side is an anonymous staging
+  // buffer that does not live in a named segment.
+  sim::SubTask<> dtoh_time_only(Bytes bytes, bool pinned = false);
+  sim::SubTask<> htod_time_only(Bytes bytes, bool pinned = false);
+
+  static constexpr Duration kLaunchLatency = std::chrono::microseconds{12};
+
+ private:
+  GpuDevice* gpu_;
+};
+
+}  // namespace portus::gpu

@@ -1,0 +1,21 @@
+#include "gpu/peer_mem.h"
+
+namespace portus::gpu {
+
+sim::SubTask<PeerMemRegion> PeerMem::register_buffer(GpuDevice& gpu, DeviceBuffer buffer) {
+  PORTUS_CHECK_ARG(buffer.valid(), "cannot register an invalid buffer");
+  const auto mib = static_cast<double>(buffer.size()) / static_cast<double>(1_MiB);
+  co_await gpu.engine().sleep(kBaseLatency +
+                              Duration{static_cast<Duration::rep>(mib * kPerMiB.count())});
+  co_return PeerMemRegion{
+      .global_addr = buffer.global_addr(),
+      .size = buffer.size(),
+      .phantom = buffer.phantom(),
+      .segment = &buffer.segment(),
+      .read_limit = gpu.spec().bar_read_limit,
+      .write_limit = gpu.spec().peer_write_limit,
+      .pcie = &gpu.pcie(),
+  };
+}
+
+}  // namespace portus::gpu

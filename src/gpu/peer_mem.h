@@ -1,0 +1,36 @@
+// NVIDIA PeerMem (nv_peer_mem) simulation: exposes GPU device memory to the
+// RDMA NIC so memory regions can be registered directly on GPU buffers.
+//
+// Registration pins the GPU pages and installs BAR mappings; the returned
+// descriptor carries the BAR read cap that governs server-initiated
+// one-sided READs of GPU memory (Fig. 10(b): ~5.8 GB/s, "30% less than
+// DRAM") and the unaffected write limit (Fig. 10(d)).
+#pragma once
+
+#include "common/units.h"
+#include "gpu/gpu_device.h"
+#include "sim/task.h"
+
+namespace portus::gpu {
+
+struct PeerMemRegion {
+  std::uint64_t global_addr = 0;
+  Bytes size = 0;
+  bool phantom = false;
+  mem::MemorySegment* segment = nullptr;
+  Bandwidth read_limit = Bandwidth::unlimited();   // BAR-capped
+  Bandwidth write_limit = Bandwidth::unlimited();
+  sim::BandwidthChannel* pcie = nullptr;  // the owning GPU's PCIe link
+};
+
+class PeerMem {
+ public:
+  // Pin `buffer` and build its BAR mapping. Cost model: fixed ioctl/pinning
+  // latency plus a per-page table-update term.
+  static sim::SubTask<PeerMemRegion> register_buffer(GpuDevice& gpu, DeviceBuffer buffer);
+
+  static constexpr Duration kBaseLatency = std::chrono::microseconds{180};
+  static constexpr Duration kPerMiB = std::chrono::nanoseconds{900};
+};
+
+}  // namespace portus::gpu

@@ -1,0 +1,33 @@
+#include "mem/address_space.h"
+
+#include "common/error.h"
+
+namespace portus::mem {
+
+std::uint64_t AddressSpace::reserve(Bytes size) {
+  const std::uint64_t base = next_base_;
+  std::uint64_t end = base + size + kGuardGap;
+  end = (end + kAlign - 1) & ~(kAlign - 1);
+  next_base_ = end;
+  return base;
+}
+
+std::shared_ptr<MemorySegment> AddressSpace::create_segment(std::string name, MemoryKind kind,
+                                                            Bytes size) {
+  const std::uint64_t base = reserve(size);
+  auto seg = std::make_shared<MemorySegment>(std::move(name), kind, size, base);
+  segments_.push_back(seg);
+  return seg;
+}
+
+MemorySegment& AddressSpace::resolve(std::uint64_t addr, Bytes len) const {
+  for (const auto& seg : segments_) {
+    if (seg->contains_global(addr, len)) return *seg;
+    if (addr >= seg->base_addr() && addr < seg->base_addr() + seg->size()) {
+      throw ProtectionFault("address range straddles segment boundary: " + seg->name());
+    }
+  }
+  throw ProtectionFault("unmapped global address");
+}
+
+}  // namespace portus::mem

@@ -1,0 +1,56 @@
+#include "net/cluster.h"
+
+#include "common/error.h"
+
+namespace portus::net {
+
+std::unique_ptr<Cluster> Cluster::Builder::build(sim::Engine& engine) {
+  PORTUS_CHECK_ARG(!specs_.empty(), "cluster needs at least one node");
+  std::unique_ptr<Cluster> cluster{new Cluster{engine}};
+  for (auto& spec : specs_) {
+    auto node = std::make_unique<Node>(engine, cluster->addr_space_, std::move(spec));
+    PORTUS_CHECK_ARG(!cluster->by_name_.contains(node->name()), "duplicate node name");
+    cluster->by_name_.emplace(node->name(), node.get());
+    cluster->nodes_.push_back(std::move(node));
+  }
+  return cluster;
+}
+
+Node& Cluster::node(const std::string& name) {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) throw NotFound("no such node: " + name);
+  return *it->second;
+}
+
+TcpListener& Cluster::listen(const std::string& endpoint) {
+  auto [it, inserted] = listeners_.try_emplace(endpoint, nullptr);
+  PORTUS_CHECK_ARG(inserted, "endpoint already bound: " + endpoint);
+  it->second = std::make_unique<TcpListener>(engine_);
+  return *it->second;
+}
+
+TcpListener& Cluster::endpoint(const std::string& name) {
+  const auto it = listeners_.find(name);
+  if (it == listeners_.end()) throw NotFound("no such endpoint: " + name);
+  return *it->second;
+}
+
+std::unique_ptr<Cluster> Cluster::paper_testbed(sim::Engine& engine) {
+  return Builder{}
+      .add_node(NodeSpec{.name = "client-volta",
+                         .gpu_count = 4,
+                         .gpu_kind = gpu::GpuKind::kV100,
+                         .nic = rdma::NicSpec::connectx5_100g()})
+      .add_node(NodeSpec{.name = "client-ampere",
+                         .gpu_count = 8,
+                         .gpu_kind = gpu::GpuKind::kA40,
+                         .nic = rdma::NicSpec::connectx6_100g()})
+      .add_node(NodeSpec{.name = "server",
+                         .dram = 192_GiB,
+                         .pmem_fsdax = 768_GiB,
+                         .pmem_devdax = 768_GiB,
+                         .nic = rdma::NicSpec::connectx5_100g()})
+      .build(engine);
+}
+
+}  // namespace portus::net

@@ -1,0 +1,67 @@
+// Cluster: the whole simulated testbed in one object.
+//
+// Owns the global address space, the RDMA fabric, the nodes, and the
+// listening endpoints for control-plane TCP. Mirrors the paper's setup:
+//
+//   Cluster::Builder{}
+//       .add_node({.name = "client-volta", .gpu_count = 4,
+//                  .gpu_kind = gpu::GpuKind::kV100})
+//       .add_node({.name = "server", .pmem_fsdax = 768_GiB,
+//                  .pmem_devdax = 768_GiB})
+//       .build(engine);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_space.h"
+#include "net/node.h"
+#include "net/tcp.h"
+#include "rdma/fabric.h"
+#include "sim/engine.h"
+
+namespace portus::net {
+
+class Cluster {
+ public:
+  class Builder {
+   public:
+    Builder& add_node(NodeSpec spec) {
+      specs_.push_back(std::move(spec));
+      return *this;
+    }
+    std::unique_ptr<Cluster> build(sim::Engine& engine);
+
+   private:
+    std::vector<NodeSpec> specs_;
+  };
+
+  sim::Engine& engine() { return engine_; }
+  mem::AddressSpace& address_space() { return addr_space_; }
+  rdma::Fabric& fabric() { return fabric_; }
+
+  Node& node(const std::string& name);
+  std::size_t node_count() const { return nodes_.size(); }
+
+  // Control-plane endpoints ("portusd" on the storage node, etc.).
+  TcpListener& listen(const std::string& endpoint);
+  TcpListener& endpoint(const std::string& name);
+
+  // The paper's reference testbed: one Client-Volta (4x V100), one
+  // Client-Ampere (8x A40), one AEP storage server (2x 768 GiB namespaces).
+  static std::unique_ptr<Cluster> paper_testbed(sim::Engine& engine);
+
+ private:
+  explicit Cluster(sim::Engine& engine) : engine_{engine}, fabric_{engine} {}
+
+  sim::Engine& engine_;
+  mem::AddressSpace addr_space_;
+  rdma::Fabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::string, Node*> by_name_;
+  std::unordered_map<std::string, std::unique_ptr<TcpListener>> listeners_;
+};
+
+}  // namespace portus::net

@@ -1,0 +1,90 @@
+#include "net/node.h"
+
+#include "common/strformat.h"
+
+namespace portus::net {
+
+Node::Node(sim::Engine& engine, mem::AddressSpace& addr_space, NodeSpec spec)
+    : engine_{engine}, spec_{std::move(spec)} {
+  nic_ = std::make_unique<rdma::RdmaNic>(engine, spec_.name + "/nic", spec_.nic);
+  dram_ = addr_space.create_segment(spec_.name + "/dram", mem::MemoryKind::kDram, spec_.dram);
+  // DDR4-3200 multi-channel: not a checkpointing bottleneck; kept finite so
+  // pathological fan-in still shows up.
+  dram_channel_ = std::make_unique<sim::BandwidthChannel>(
+      engine, Bandwidth::gb_per_sec(38.0), spec_.name + "/membus");
+
+  for (int i = 0; i < spec_.gpu_count; ++i) {
+    gpus_.push_back(std::make_unique<gpu::GpuDevice>(
+        engine, addr_space, strf("{}/gpu{}", spec_.name, i), spec_.gpu_kind));
+  }
+
+  const auto make_ns = [&](const char* label, Bytes size, pmem::DaxMode mode,
+                           const pmem::PmemPerfModel& model) {
+    auto device = addr_space.create<pmem::PmemDevice>(
+        strf("{}/{}", spec_.name, label), size, model);
+    return std::make_unique<pmem::PmemNamespace>(strf("{}/{}", spec_.name, label), mode,
+                                                 std::move(device));
+  };
+
+  if (spec_.pmem_fsdax > 0) {
+    const auto model = pmem::PmemPerfModel::optane_fsdax_shared();
+    fsdax_ = make_ns("pmem-fsdax", spec_.pmem_fsdax, pmem::DaxMode::kFsDax, model);
+    fsdax_read_ch_ = std::make_unique<sim::BandwidthChannel>(
+        engine, model.read_bw, spec_.name + "/fsdax-read");
+    fsdax_write_ch_ = std::make_unique<sim::BandwidthChannel>(
+        engine, model.write_bw, spec_.name + "/fsdax-write", model.write_degradation);
+  }
+  if (spec_.pmem_devdax > 0) {
+    const auto model = pmem::PmemPerfModel::optane_interleaved3();
+    devdax_ = make_ns("pmem-devdax", spec_.pmem_devdax, pmem::DaxMode::kDevDax, model);
+    devdax_read_ch_ = std::make_unique<sim::BandwidthChannel>(
+        engine, model.read_bw, spec_.name + "/devdax-read");
+    devdax_write_ch_ = std::make_unique<sim::BandwidthChannel>(
+        engine, model.write_bw, spec_.name + "/devdax-write", model.write_degradation);
+  }
+}
+
+rdma::RegionDesc Node::dram_region(Bytes offset, Bytes len, std::uint32_t access) {
+  PORTUS_CHECK_ARG(offset + len <= dram_->size(), "DRAM region out of bounds");
+  return rdma::RegionDesc{
+      .segment = dram_.get(),
+      .addr = dram_->base_addr() + offset,
+      .length = len,
+      .access = access,
+      .device_channel_read = dram_channel_.get(),
+      .device_channel_write = dram_channel_.get(),
+  };
+}
+
+rdma::RegionDesc Node::pmem_region(pmem::DaxMapping& mapping, std::uint32_t access) {
+  PORTUS_CHECK_ARG(devdax_ != nullptr && &mapping.device() == &devdax_->device(),
+                   "pmem_region expects a mapping of this node's devdax namespace");
+  const auto& model = devdax_->device().perf();
+  return rdma::RegionDesc{
+      .segment = &devdax_->device(),
+      .addr = mapping.global_addr(),
+      .length = mapping.size(),
+      .access = access,
+      .read_cap = model.read_bw,
+      .write_cap = model.write_bw,
+      .device_channel_read = devdax_read_ch_.get(),
+      .device_channel_write = devdax_write_ch_.get(),
+  };
+}
+
+rdma::RegionDesc Node::gpu_region(const gpu::PeerMemRegion& peer, std::uint32_t access) {
+  return rdma::RegionDesc{
+      .segment = peer.segment,
+      .addr = peer.global_addr,
+      .length = peer.size,
+      .access = access,
+      .phantom = peer.phantom,
+      .read_cap = peer.read_limit,
+      .write_cap = peer.write_limit,
+      // BAR reads and peer writes ride the GPU's PCIe link.
+      .device_channel_read = peer.pcie,
+      .device_channel_write = peer.pcie,
+  };
+}
+
+}  // namespace portus::net

@@ -1,0 +1,94 @@
+// A machine in the cluster: DRAM, CPUs (as a serialization-cost model),
+// zero or more GPUs, zero or more PMEM namespaces, and one RDMA NIC.
+//
+// Nodes also own the per-device bandwidth channels that RDMA memory regions
+// reference (DRAM bus, PMEM read/write), and provide helpers that package a
+// memory range into an rdma::RegionDesc with the right caps and channels.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "gpu/gpu_device.h"
+#include "gpu/peer_mem.h"
+#include "mem/address_space.h"
+#include "pmem/devdax.h"
+#include "rdma/nic.h"
+#include "sim/bandwidth_channel.h"
+#include "sim/engine.h"
+
+namespace portus::net {
+
+struct NodeSpec {
+  std::string name;
+  Bytes dram = 1024_GiB;
+  int gpu_count = 0;
+  gpu::GpuKind gpu_kind = gpu::GpuKind::kV100;
+  Bytes pmem_fsdax = 0;   // BeeGFS-PMEM target (ext4-DAX + BeeGFS daemon)
+  Bytes pmem_devdax = 0;  // Portus target (direct user-space access)
+  rdma::NicSpec nic = rdma::NicSpec::connectx5_100g();
+  // CPU-side serialization model (torch.save-style packing of tensors).
+  Bandwidth serialize_bw = Bandwidth::gb_per_sec(1.54);
+  Bandwidth deserialize_bw = Bandwidth::gb_per_sec(4.2);
+  // torch.load's per-tensor module reconstruction ("high model
+  // reconstruction overhead", SS III-F): object graph rebuild per layer.
+  Duration reconstruct_per_tensor = std::chrono::microseconds{150};
+};
+
+class Node {
+ public:
+  Node(sim::Engine& engine, mem::AddressSpace& addr_space, NodeSpec spec);
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return spec_.name; }
+  const NodeSpec& spec() const { return spec_; }
+  sim::Engine& engine() { return engine_; }
+
+  rdma::RdmaNic& nic() { return *nic_; }
+  mem::MemorySegment& dram() { return *dram_; }
+  sim::BandwidthChannel& dram_channel() { return *dram_channel_; }
+
+  std::size_t gpu_count() const { return gpus_.size(); }
+  gpu::GpuDevice& gpu(std::size_t i) { return *gpus_.at(i); }
+
+  bool has_fsdax() const { return fsdax_ != nullptr; }
+  bool has_devdax() const { return devdax_ != nullptr; }
+  pmem::PmemNamespace& fsdax() { return *fsdax_; }
+  pmem::PmemNamespace& devdax() { return *devdax_; }
+  sim::BandwidthChannel& fsdax_write_channel() { return *fsdax_write_ch_; }
+  sim::BandwidthChannel& fsdax_read_channel() { return *fsdax_read_ch_; }
+  sim::BandwidthChannel& devdax_write_channel() { return *devdax_write_ch_; }
+  sim::BandwidthChannel& devdax_read_channel() { return *devdax_read_ch_; }
+
+  // CPU serialization cost (single worker thread packing tensor bytes).
+  Duration serialize_time(Bytes n) const { return spec_.serialize_bw.time_for(n); }
+  Duration deserialize_time(Bytes n) const { return spec_.deserialize_bw.time_for(n); }
+
+  // --- RegionDesc factories -------------------------------------------------
+  // DRAM range [offset, offset+len) of this node.
+  rdma::RegionDesc dram_region(Bytes offset, Bytes len,
+                               std::uint32_t access = rdma::kAllAccess);
+  // devdax PMEM mapping (Portus TensorData regions).
+  rdma::RegionDesc pmem_region(pmem::DaxMapping& mapping,
+                               std::uint32_t access = rdma::kAllAccess);
+  // GPU buffer registered through PeerMem.
+  rdma::RegionDesc gpu_region(const gpu::PeerMemRegion& peer,
+                              std::uint32_t access = rdma::kAllAccess);
+
+ private:
+  sim::Engine& engine_;
+  NodeSpec spec_;
+  std::unique_ptr<rdma::RdmaNic> nic_;
+  std::shared_ptr<mem::MemorySegment> dram_;
+  std::unique_ptr<sim::BandwidthChannel> dram_channel_;
+  std::vector<std::unique_ptr<gpu::GpuDevice>> gpus_;
+  std::unique_ptr<pmem::PmemNamespace> fsdax_;
+  std::unique_ptr<pmem::PmemNamespace> devdax_;
+  std::unique_ptr<sim::BandwidthChannel> fsdax_read_ch_, fsdax_write_ch_;
+  std::unique_ptr<sim::BandwidthChannel> devdax_read_ch_, devdax_write_ch_;
+};
+
+}  // namespace portus::net

@@ -1,0 +1,13 @@
+#include "pmem/devdax.h"
+
+namespace portus::pmem {
+
+const char* to_string(DaxMode mode) {
+  switch (mode) {
+    case DaxMode::kFsDax: return "fsdax";
+    case DaxMode::kDevDax: return "devdax";
+  }
+  return "?";
+}
+
+}  // namespace portus::pmem

@@ -1,0 +1,95 @@
+// PMEM namespaces: how the storage server exposes its DIMMs.
+//
+// The paper's server splits 6 Optane DIMMs into two interleaved 3-DIMM
+// namespaces: one in *fsdax* mode (an ext4-DAX file system stacked with a
+// BeeGFS daemon) and one in *devdax* mode (a character device the Portus
+// daemon mmaps directly, bypassing every kernel file system layer).
+//
+// A PmemNamespace couples a PmemDevice with its mode and, for devdax,
+// hands out mmap-style direct-access windows; for fsdax, only the
+// filesystem layer (storage/beegfs, storage/ext4) is expected to touch it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "pmem/pmem_device.h"
+
+namespace portus::pmem {
+
+enum class DaxMode : std::uint8_t { kFsDax, kDevDax };
+
+const char* to_string(DaxMode mode);
+
+// A direct-access window into a devdax namespace: the simulated equivalent
+// of mmap()ing /dev/daxX.Y. Grants raw load/store access plus persist
+// control over a sub-range of the device.
+class DaxMapping {
+ public:
+  DaxMapping(PmemDevice& device, Bytes offset, Bytes len)
+      : device_{&device}, offset_{offset}, len_{len} {
+    PORTUS_CHECK_ARG(offset + len <= device.size(), "DAX mapping out of device bounds");
+  }
+
+  Bytes size() const { return len_; }
+  // Global address of byte 0 of the mapping (what the daemon stores as a
+  // persistent pointer and registers with the RNIC).
+  std::uint64_t global_addr() const { return device_->base_addr() + offset_; }
+
+  void write(Bytes off, std::span<const std::byte> data) {
+    check(off, data.size());
+    device_->write(offset_ + off, data);
+  }
+  std::vector<std::byte> read(Bytes off, Bytes len) const {
+    check(off, len);
+    return device_->read(offset_ + off, len);
+  }
+  void persist(Bytes off, Bytes len) {
+    check(off, len);
+    device_->persist(offset_ + off, len);
+  }
+  std::uint32_t crc(Bytes off, Bytes len) const {
+    check(off, len);
+    return device_->crc(offset_ + off, len);
+  }
+
+  PmemDevice& device() { return *device_; }
+
+ private:
+  void check(Bytes off, Bytes len) const {
+    PORTUS_CHECK_ARG(off + len <= len_ && off + len >= off, "access outside DAX mapping");
+  }
+  PmemDevice* device_;
+  Bytes offset_;
+  Bytes len_;
+};
+
+class PmemNamespace {
+ public:
+  PmemNamespace(std::string name, DaxMode mode, std::shared_ptr<PmemDevice> device)
+      : name_{std::move(name)}, mode_{mode}, device_{std::move(device)} {
+    PORTUS_CHECK_ARG(device_ != nullptr, "namespace requires a device");
+  }
+
+  const std::string& name() const { return name_; }
+  DaxMode mode() const { return mode_; }
+  PmemDevice& device() { return *device_; }
+  const PmemDevice& device() const { return *device_; }
+  Bytes size() const { return device_->size(); }
+
+  // devdax-only: direct user-space mapping, detouring kernel file systems.
+  DaxMapping map(Bytes offset, Bytes len) {
+    PORTUS_CHECK_ARG(mode_ == DaxMode::kDevDax,
+                     "direct mapping requires devdax mode (fsdax goes through a filesystem)");
+    return DaxMapping{*device_, offset, len};
+  }
+
+ private:
+  std::string name_;
+  DaxMode mode_;
+  std::shared_ptr<PmemDevice> device_;
+};
+
+}  // namespace portus::pmem

@@ -1,0 +1,14 @@
+#include "pmem/perf_model.h"
+
+namespace portus::pmem {
+
+PmemPerfModel PmemPerfModel::optane_interleaved3() { return PmemPerfModel{}; }
+
+PmemPerfModel PmemPerfModel::optane_fsdax_shared() {
+  PmemPerfModel m;
+  m.write_bw = Bandwidth::gb_per_sec(5.0);
+  m.write_degradation = sim::DegradationModel{.beta = 0.35, .n0 = 1};
+  return m;
+}
+
+}  // namespace portus::pmem

@@ -1,0 +1,37 @@
+// Performance model for Intel Optane DC Persistent Memory (100-series),
+// calibrated to the paper's storage server: 6 x 256 GB DIMMs, of which two
+// interleaved 3-DIMM namespaces are built (one fsdax for BeeGFS, one devdax
+// for Portus).
+//
+// Key properties reproduced (cf. Izraelevitz et al., the paper's ref [41]):
+//  * read bandwidth well above write bandwidth;
+//  * media write latency ~100 ns behind the ADR domain, reads ~300 ns;
+//  * aggregate write bandwidth DEGRADES with concurrent writers (XPBuffer
+//    contention) — this is what collapses BeeGFS-PMEM throughput under the
+//    16-way concurrent checkpointing of Fig. 14.
+#pragma once
+
+#include "common/units.h"
+#include "sim/bandwidth_channel.h"
+
+namespace portus::pmem {
+
+struct PmemPerfModel {
+  // 3-DIMM interleaved namespace.
+  Bandwidth read_bw = Bandwidth::gb_per_sec(19.5);
+  Bandwidth write_bw = Bandwidth::gb_per_sec(8.0);
+  Duration read_latency = std::chrono::nanoseconds{305};
+  Duration write_latency = std::chrono::nanoseconds{95};
+  // Flush (CLWB + fence) cost per cache line batch, charged per persist().
+  Duration persist_overhead = std::chrono::nanoseconds{400};
+  // Concurrency degradation for writes (see bandwidth_channel.h). Calibrated
+  // so 16 concurrent writers see ~0.75-0.8x of nominal per +1 writer slope.
+  sim::DegradationModel write_degradation{.beta = 0.02, .n0 = 2};
+
+  static PmemPerfModel optane_interleaved3();
+  // An fsdax namespace accessed through ext4-DAX + BeeGFS daemon sees much
+  // worse concurrent-write behaviour (journal + page-cache-bypass DAX path).
+  static PmemPerfModel optane_fsdax_shared();
+};
+
+}  // namespace portus::pmem

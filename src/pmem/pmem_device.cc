@@ -1,0 +1,95 @@
+#include "pmem/pmem_device.h"
+
+#include <algorithm>
+
+namespace portus::pmem {
+
+PmemDevice::PmemDevice(std::string name, Bytes size, std::uint64_t base_addr,
+                       PmemPerfModel model)
+    : mem::MemorySegment{std::move(name), mem::MemoryKind::kPmem, size, base_addr},
+      model_{model} {}
+
+void PmemDevice::mark_dirty(Bytes offset, Bytes len) {
+  if (len == 0) return;
+  std::lock_guard lock{dirty_mu_};
+  Bytes start = offset;
+  Bytes end = offset + len;
+
+  // Merge with any overlapping or adjacent existing ranges.
+  auto it = dirty_.upper_bound(start);
+  if (it != dirty_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = dirty_.erase(prev);
+    }
+  }
+  while (it != dirty_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = dirty_.erase(it);
+  }
+  dirty_.emplace(start, end);
+}
+
+void PmemDevice::persist(Bytes offset, Bytes len) {
+  check_range(offset, len);
+  if (len == 0) return;
+  std::lock_guard lock{dirty_mu_};
+  persist_locked(offset, len);
+}
+
+void PmemDevice::persist_locked(Bytes offset, Bytes len) {
+  const Bytes start = offset;
+  const Bytes end = offset + len;
+
+  auto it = dirty_.upper_bound(start);
+  if (it != dirty_.begin()) --it;
+  while (it != dirty_.end() && it->first < end) {
+    const Bytes r_start = it->first;
+    const Bytes r_end = it->second;
+    if (r_end <= start) {
+      ++it;
+      continue;
+    }
+    it = dirty_.erase(it);
+    if (r_start < start) dirty_.emplace(r_start, start);
+    if (r_end > end) it = dirty_.emplace(end, r_end).first;
+  }
+}
+
+void PmemDevice::persist_all() {
+  std::lock_guard lock{dirty_mu_};
+  dirty_.clear();
+}
+
+bool PmemDevice::is_persisted(Bytes offset, Bytes len) const {
+  check_range(offset, len);
+  if (len == 0) return true;
+  std::lock_guard lock{dirty_mu_};
+  const Bytes end = offset + len;
+  auto it = dirty_.upper_bound(offset);
+  if (it != dirty_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->second > offset) return false;
+  }
+  return it == dirty_.end() || it->first >= end;
+}
+
+Bytes PmemDevice::dirty_bytes() const {
+  std::lock_guard lock{dirty_mu_};
+  Bytes total = 0;
+  for (const auto& [start, end] : dirty_) total += end - start;
+  return total;
+}
+
+void PmemDevice::simulate_crash() {
+  std::lock_guard lock{dirty_mu_};
+  ++crash_count_;
+  for (const auto& [start, end] : dirty_) {
+    fill_raw(start, end - start, std::byte{0xCC});
+  }
+  dirty_.clear();
+}
+
+}  // namespace portus::pmem

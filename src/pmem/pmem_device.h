@@ -1,0 +1,68 @@
+// Simulated persistent-memory device with explicit persistence semantics.
+//
+// Real PMEM sits behind the CPU cache hierarchy: a store is NOT durable
+// until the cache line is flushed (CLWB/CLFLUSHOPT) and a fence drains it
+// into the ADR domain. The double-mapping crash-consistency protocol in the
+// Portus daemon depends on this ordering, so this device models it:
+//
+//   write()            -> contents visible, range recorded as *dirty*
+//   persist(off, len)  -> intersecting dirty ranges become durable
+//   simulate_crash()   -> every still-dirty range is scrambled (0xCC) —
+//                         a pessimistic torn-write model: anything not
+//                         explicitly persisted must be assumed lost.
+//
+// RDMA writes from the NIC land in the same way (DDIO -> cache) and are
+// persisted by the daemon's flush step, matching the "characterizing remote
+// PMEM over RDMA" guidance of the paper's ref [43].
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/units.h"
+#include "mem/segment.h"
+#include "pmem/perf_model.h"
+
+namespace portus::pmem {
+
+class PmemDevice final : public mem::MemorySegment {
+ public:
+  // Signature matches mem::AddressSpace::create<PmemDevice>(name, size, ...).
+  PmemDevice(std::string name, Bytes size, std::uint64_t base_addr,
+             PmemPerfModel model = PmemPerfModel::optane_interleaved3());
+
+  const PmemPerfModel& perf() const { return model_; }
+
+  // Make [offset, offset+len) durable. Throws on out-of-range.
+  void persist(Bytes offset, Bytes len);
+  void persist_all();
+
+  // True when no byte of the range is in the volatile (dirty) state.
+  bool is_persisted(Bytes offset, Bytes len) const;
+
+  // Total bytes currently dirty (volatile).
+  Bytes dirty_bytes() const;
+
+  // Power-failure simulation: scrambles every dirty range with 0xCC and
+  // clears the dirty set. Durable data is untouched.
+  void simulate_crash();
+
+  std::uint64_t crash_count() const { return crash_count_; }
+
+  // MemorySegment persistence hook.
+  void mark_dirty(Bytes offset, Bytes len) override;
+
+ private:
+  void persist_locked(Bytes offset, Bytes len);
+
+  // Dirty ranges as a non-overlapping ordered map: start -> end (exclusive).
+  // Guarded: real-thread allocator stress tests write through to PMEM.
+  mutable std::mutex dirty_mu_;
+  std::map<Bytes, Bytes> dirty_;
+  PmemPerfModel model_;
+  std::uint64_t crash_count_ = 0;
+};
+
+}  // namespace portus::pmem

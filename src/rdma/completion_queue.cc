@@ -1,0 +1,35 @@
+#include "rdma/completion_queue.h"
+
+namespace portus::rdma {
+
+const char* to_string(WcOpcode op) {
+  switch (op) {
+    case WcOpcode::kRead: return "RDMA_READ";
+    case WcOpcode::kWrite: return "RDMA_WRITE";
+    case WcOpcode::kSend: return "SEND";
+    case WcOpcode::kRecv: return "RECV";
+  }
+  return "?";
+}
+
+const char* to_string(WcStatus status) {
+  switch (status) {
+    case WcStatus::kSuccess: return "SUCCESS";
+    case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRemoteInvalidRequest: return "REMOTE_INVALID_REQUEST";
+    case WcStatus::kFlushError: return "FLUSH_ERROR";
+  }
+  return "?";
+}
+
+std::optional<WorkCompletion> CompletionQueue::poll() {
+  if (chan_.empty()) return std::nullopt;
+  // Channel has no non-coroutine pop; emulate via immediate recv awaitable.
+  // Since the queue is non-empty, await_ready() is true and the value is
+  // available synchronously.
+  auto aw = chan_.recv();
+  if (!aw.await_ready()) return std::nullopt;
+  return aw.await_resume();
+}
+
+}  // namespace portus::rdma

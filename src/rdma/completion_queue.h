@@ -1,0 +1,55 @@
+// Completion queues: where finished work requests surface.
+//
+// Mirrors ibv_cq usage: non-blocking poll() plus an awaitable wait() for
+// coroutine consumers (the simulated equivalent of a completion channel).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace portus::rdma {
+
+enum class WcOpcode : std::uint8_t { kRead, kWrite, kSend, kRecv };
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kRemoteAccessError,  // bad rkey / out-of-bounds / missing permission
+  kRemoteInvalidRequest,
+  kFlushError,         // QP destroyed / disconnected with op in flight
+};
+
+const char* to_string(WcOpcode op);
+const char* to_string(WcStatus status);
+
+struct WorkCompletion {
+  std::uint64_t wr_id = 0;
+  WcOpcode opcode = WcOpcode::kRead;
+  WcStatus status = WcStatus::kSuccess;
+  Bytes byte_len = 0;
+};
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(sim::Engine& engine) : chan_{engine} {}
+
+  // Non-blocking: pops one completion if present.
+  std::optional<WorkCompletion> poll();
+
+  // Awaitable: suspends until a completion arrives.
+  auto wait() { return chan_.recv(); }
+
+  // NIC-side delivery.
+  void deliver(WorkCompletion wc) { chan_.push(std::move(wc)); }
+
+  std::size_t depth() const { return chan_.size(); }
+
+ private:
+  sim::Channel<WorkCompletion> chan_;
+};
+
+}  // namespace portus::rdma

@@ -1,0 +1,156 @@
+#include "rdma/fabric.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mem/segment.h"
+
+namespace portus::rdma {
+
+QueuePair& Fabric::create_qp(RdmaNic& nic, ProtectionDomain& pd, CompletionQueue& cq) {
+  qps_.push_back(std::unique_ptr<QueuePair>{new QueuePair{*this, nic, pd, cq, next_qp_num_++}});
+  return *qps_.back();
+}
+
+void Fabric::connect(QueuePair& a, QueuePair& b) {
+  PORTUS_CHECK_ARG(!a.connected() && !b.connected(), "QP already connected");
+  PORTUS_CHECK_ARG(&a != &b, "cannot self-connect a QP");
+  a.peer_ = &b;
+  b.peer_ = &a;
+  engine_.spawn(a.run_send_queue());
+  engine_.spawn(b.run_send_queue());
+}
+
+sim::SubTask<> Fabric::charge_path(std::vector<sim::BandwidthChannel*> channels, Bytes bytes,
+                                   Bandwidth flow_cap) {
+  // Deduplicate (loopback transfers would otherwise double-charge a link).
+  std::sort(channels.begin(), channels.end());
+  channels.erase(std::unique(channels.begin(), channels.end()), channels.end());
+  channels.erase(std::remove(channels.begin(), channels.end(), nullptr), channels.end());
+
+  std::vector<sim::Process> flows;
+  flows.reserve(channels.size());
+  for (auto* ch : channels) {
+    flows.push_back(engine_.spawn(
+        [](sim::BandwidthChannel& c, Bytes n, Bandwidth cap) -> sim::Process {
+          co_await c.transfer(n, cap);
+        }(*ch, bytes, flow_cap)));
+  }
+  for (auto& f : flows) co_await f.join();
+}
+
+sim::SubTask<WorkCompletion> Fabric::execute(QueuePair& initiator, WorkRequest wr) {
+  ++ops_executed_;
+  if (wr.opcode == WcOpcode::kSend) {
+    co_return co_await execute_send(initiator, wr);
+  }
+  co_return co_await execute_one_sided(initiator, wr);
+}
+
+sim::SubTask<WorkCompletion> Fabric::execute_one_sided(QueuePair& initiator, WorkRequest wr) {
+  const bool is_read = wr.opcode == WcOpcode::kRead;
+  WorkCompletion wc{.wr_id = wr.wr_id, .opcode = wr.opcode, .status = WcStatus::kSuccess,
+                    .byte_len = wr.length};
+
+  QueuePair* peer = initiator.peer();
+  PORTUS_CHECK(peer != nullptr, "one-sided op on unconnected QP");
+
+  // WQE processing + request propagation.
+  const auto& spec = initiator.nic().spec();
+  co_await engine_.sleep((is_read ? spec.read_latency : spec.write_latency) + switch_latency_);
+
+  // Local SGE validation.
+  const MemoryRegion* local = initiator.pd().find_by_lkey(wr.lkey);
+  if (local == nullptr || !local->covers(wr.local_addr, wr.length)) {
+    wc.status = WcStatus::kRemoteInvalidRequest;  // local protection error
+    co_return wc;
+  }
+  // Remote rkey validation at the target NIC.
+  const MemoryRegion* remote = peer->pd().find_by_rkey(wr.rkey);
+  const std::uint32_t needed = is_read ? kRemoteRead : kRemoteWrite;
+  if (remote == nullptr || !remote->covers(wr.remote_addr, wr.length) ||
+      (remote->access & needed) == 0) {
+    wc.status = WcStatus::kRemoteAccessError;
+    co_return wc;
+  }
+
+  // Datapath: source is remote for READ, local for WRITE.
+  const MemoryRegion* src = is_read ? remote : local;
+  const MemoryRegion* dst = is_read ? local : remote;
+  const Bandwidth cap = min(min(src->read_cap, dst->write_cap),
+                            min(initiator.nic().spec().per_qp_cap,
+                                peer->nic().spec().per_qp_cap));
+  std::vector<sim::BandwidthChannel*> path;
+  path.push_back(&initiator.nic().link());
+  path.push_back(&peer->nic().link());
+  path.push_back(src->device_channel_read);
+  path.push_back(dst->device_channel_write);
+  co_await charge_path(std::move(path), wr.length, cap);
+
+  if (!src->phantom && !dst->phantom) {
+    const std::uint64_t src_addr = is_read ? wr.remote_addr : wr.local_addr;
+    const std::uint64_t dst_addr = is_read ? wr.local_addr : wr.remote_addr;
+    mem::copy_bytes(*dst->segment, dst->segment->to_offset(dst_addr), *src->segment,
+                    src->segment->to_offset(src_addr), wr.length);
+    bytes_moved_ += wr.length;
+  } else if (dst->segment != nullptr && !dst->phantom) {
+    // Phantom source into real destination: account persistence metadata
+    // without contents (zero-fill is skipped; dirtiness still tracked).
+    dst->segment->mark_dirty(dst->segment->to_offset(is_read ? wr.local_addr : wr.remote_addr),
+                             wr.length);
+  }
+  co_return wc;
+}
+
+sim::SubTask<WorkCompletion> Fabric::execute_send(QueuePair& initiator, WorkRequest wr) {
+  WorkCompletion wc{.wr_id = wr.wr_id, .opcode = WcOpcode::kSend, .status = WcStatus::kSuccess,
+                    .byte_len = wr.length};
+  QueuePair* peer = initiator.peer();
+  PORTUS_CHECK(peer != nullptr, "SEND on unconnected QP");
+
+  const MemoryRegion* local = initiator.pd().find_by_lkey(wr.lkey);
+  if (local == nullptr || !local->covers(wr.local_addr, wr.length)) {
+    wc.status = WcStatus::kRemoteInvalidRequest;
+    co_return wc;
+  }
+
+  co_await engine_.sleep(initiator.nic().spec().send_latency + switch_latency_);
+
+  // RNR: wait for a posted receive on the peer.
+  co_await peer->rq_tokens_.acquire();
+  PORTUS_CHECK(!peer->rq_.empty(), "recv token without posted receive");
+  const RecvWr recv = peer->rq_.front();
+  peer->rq_.pop_front();
+
+  const MemoryRegion* remote = peer->pd().find_by_lkey(recv.lkey);
+  if (remote == nullptr || !remote->covers(recv.addr, recv.length) ||
+      recv.length < wr.length) {
+    wc.status = WcStatus::kRemoteInvalidRequest;
+    peer->cq().deliver(WorkCompletion{.wr_id = recv.wr_id, .opcode = WcOpcode::kRecv,
+                                      .status = WcStatus::kRemoteInvalidRequest,
+                                      .byte_len = 0});
+    co_return wc;
+  }
+
+  const Bandwidth cap = min(min(local->read_cap, remote->write_cap),
+                            min(initiator.nic().spec().per_qp_cap,
+                                peer->nic().spec().per_qp_cap));
+  std::vector<sim::BandwidthChannel*> path;
+  path.push_back(&initiator.nic().link());
+  path.push_back(&peer->nic().link());
+  path.push_back(local->device_channel_read);
+  path.push_back(remote->device_channel_write);
+  co_await charge_path(std::move(path), wr.length, cap);
+
+  if (!local->phantom && !remote->phantom) {
+    mem::copy_bytes(*remote->segment, remote->segment->to_offset(recv.addr), *local->segment,
+                    local->segment->to_offset(wr.local_addr), wr.length);
+    bytes_moved_ += wr.length;
+  }
+
+  peer->cq().deliver(WorkCompletion{.wr_id = recv.wr_id, .opcode = WcOpcode::kRecv,
+                                    .status = WcStatus::kSuccess, .byte_len = wr.length});
+  co_return wc;
+}
+
+}  // namespace portus::rdma

@@ -1,0 +1,49 @@
+#include "rdma/memory_region.h"
+
+namespace portus::rdma {
+
+const MemoryRegion& ProtectionDomain::register_region(const RegionDesc& desc) {
+  PORTUS_CHECK_ARG(desc.length > 0, "cannot register empty region");
+  PORTUS_CHECK_ARG(desc.phantom || desc.segment != nullptr,
+                   "non-phantom region requires a backing segment");
+  if (desc.segment != nullptr) {
+    PORTUS_CHECK_ARG(desc.segment->contains_global(desc.addr, desc.length),
+                     "region exceeds backing segment bounds");
+  }
+  auto mr = std::make_unique<MemoryRegion>();
+  mr->lkey = next_key_++;
+  mr->rkey = next_key_++;
+  mr->addr = desc.addr;
+  mr->length = desc.length;
+  mr->access = desc.access;
+  mr->segment = desc.segment;
+  mr->phantom = desc.phantom;
+  mr->read_cap = desc.read_cap;
+  mr->write_cap = desc.write_cap;
+  mr->device_channel_read = desc.device_channel_read;
+  mr->device_channel_write = desc.device_channel_write;
+
+  MemoryRegion* raw = mr.get();
+  by_rkey_.emplace(raw->rkey, raw);
+  by_lkey_.emplace(raw->lkey, std::move(mr));
+  return *raw;
+}
+
+void ProtectionDomain::deregister(std::uint32_t lkey) {
+  const auto it = by_lkey_.find(lkey);
+  PORTUS_CHECK_ARG(it != by_lkey_.end(), "deregister of unknown lkey");
+  by_rkey_.erase(it->second->rkey);
+  by_lkey_.erase(it);
+}
+
+const MemoryRegion* ProtectionDomain::find_by_rkey(std::uint32_t rkey) const {
+  const auto it = by_rkey_.find(rkey);
+  return it == by_rkey_.end() ? nullptr : it->second;
+}
+
+const MemoryRegion* ProtectionDomain::find_by_lkey(std::uint32_t lkey) const {
+  const auto it = by_lkey_.find(lkey);
+  return it == by_lkey_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace portus::rdma

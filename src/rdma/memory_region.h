@@ -1,0 +1,92 @@
+// RDMA memory regions and protection domains.
+//
+// A MemoryRegion pins a (segment, offset, length) range and hands out an
+// lkey/rkey pair. One-sided verbs name remote memory as (rkey, global
+// address); the target NIC validates the key, the access flags, and the
+// bounds before touching memory — violations complete with
+// kRemoteAccessError, exactly how an RC QP surfaces protection faults.
+//
+// Regions carry the datapath properties of the memory behind them: per-flow
+// rate caps (e.g. the GPU BAR read limit) and the device bandwidth channel
+// transfers must also traverse (PCIe for GPU memory, the PMEM write channel
+// for Optane, the memory bus for DRAM).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "mem/segment.h"
+#include "sim/bandwidth_channel.h"
+
+namespace portus::rdma {
+
+enum AccessFlags : std::uint32_t {
+  kLocalRead = 1u << 0,
+  kLocalWrite = 1u << 1,
+  kRemoteRead = 1u << 2,
+  kRemoteWrite = 1u << 3,
+  kAllAccess = kLocalRead | kLocalWrite | kRemoteRead | kRemoteWrite,
+};
+
+struct MemoryRegion {
+  std::uint32_t lkey = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t addr = 0;  // global address of byte 0
+  Bytes length = 0;
+  std::uint32_t access = 0;
+  mem::MemorySegment* segment = nullptr;  // null for phantom payloads
+  bool phantom = false;
+
+  // Datapath model.
+  Bandwidth read_cap = Bandwidth::unlimited();   // per-flow cap when data is read out
+  Bandwidth write_cap = Bandwidth::unlimited();  // per-flow cap when data is written in
+  sim::BandwidthChannel* device_channel_read = nullptr;
+  sim::BandwidthChannel* device_channel_write = nullptr;
+
+  bool covers(std::uint64_t a, Bytes len) const {
+    return a >= addr && a + len <= addr + length && a + len >= a;
+  }
+};
+
+struct RegionDesc {
+  mem::MemorySegment* segment = nullptr;  // may be null only when phantom
+  std::uint64_t addr = 0;
+  Bytes length = 0;
+  std::uint32_t access = kAllAccess;
+  bool phantom = false;
+  Bandwidth read_cap = Bandwidth::unlimited();
+  Bandwidth write_cap = Bandwidth::unlimited();
+  sim::BandwidthChannel* device_channel_read = nullptr;
+  sim::BandwidthChannel* device_channel_write = nullptr;
+};
+
+class ProtectionDomain {
+ public:
+  explicit ProtectionDomain(std::string name) : name_{std::move(name)} {}
+  ProtectionDomain(const ProtectionDomain&) = delete;
+  ProtectionDomain& operator=(const ProtectionDomain&) = delete;
+
+  const MemoryRegion& register_region(const RegionDesc& desc);
+  void deregister(std::uint32_t lkey);
+
+  // rkey lookup used by the target NIC when executing remote ops. Returns
+  // nullptr when the key is unknown (surfaced as a completion error).
+  const MemoryRegion* find_by_rkey(std::uint32_t rkey) const;
+  const MemoryRegion* find_by_lkey(std::uint32_t lkey) const;
+
+  std::size_t region_count() const { return by_lkey_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::uint32_t next_key_ = 0x1000;
+  std::unordered_map<std::uint32_t, std::unique_ptr<MemoryRegion>> by_lkey_;
+  std::unordered_map<std::uint32_t, MemoryRegion*> by_rkey_;
+};
+
+}  // namespace portus::rdma

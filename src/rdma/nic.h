@@ -1,0 +1,60 @@
+// RDMA-capable NIC (simulated Mellanox ConnectX-5/6, 100 Gbps InfiniBand).
+//
+// Each NIC owns a link bandwidth channel that all flows traversing it share
+// (max-min fair), and a per-QP rate cap reflecting single-stream verbs
+// efficiency: one RDMA READ stream tops out near 8.3 GB/s on this hardware
+// (Fig. 10(a): the DRAM-to-DRAM peak), while multiple QPs together can push
+// the link toward its ~12 GB/s wire limit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "rdma/memory_region.h"
+#include "sim/bandwidth_channel.h"
+#include "sim/engine.h"
+
+namespace portus::rdma {
+
+struct NicSpec {
+  Bandwidth link_capacity = Bandwidth::gb_per_sec(12.0);
+  Bandwidth per_qp_cap = Bandwidth::gb_per_sec(8.3);
+  Duration read_latency = std::chrono::microseconds{4};    // one-sided READ setup+RTT
+  Duration write_latency = std::chrono::nanoseconds{3200}; // one-sided WRITE
+  Duration send_latency = std::chrono::microseconds{5};    // two-sided (CPU on both ends)
+
+  static NicSpec connectx5_100g() { return NicSpec{}; }
+  static NicSpec connectx6_100g() { return NicSpec{}; }
+};
+
+class RdmaNic {
+ public:
+  RdmaNic(sim::Engine& engine, std::string name, NicSpec spec = NicSpec::connectx5_100g())
+      : engine_{engine},
+        name_{std::move(name)},
+        spec_{spec},
+        link_{engine, spec.link_capacity, name_ + "/link"} {}
+  RdmaNic(const RdmaNic&) = delete;
+  RdmaNic& operator=(const RdmaNic&) = delete;
+
+  ProtectionDomain& alloc_pd(std::string name) {
+    pds_.push_back(std::make_unique<ProtectionDomain>(std::move(name)));
+    return *pds_.back();
+  }
+
+  sim::Engine& engine() { return engine_; }
+  const std::string& name() const { return name_; }
+  const NicSpec& spec() const { return spec_; }
+  sim::BandwidthChannel& link() { return link_; }
+
+ private:
+  sim::Engine& engine_;
+  std::string name_;
+  NicSpec spec_;
+  sim::BandwidthChannel link_;
+  std::vector<std::unique_ptr<ProtectionDomain>> pds_;
+};
+
+}  // namespace portus::rdma

@@ -1,0 +1,84 @@
+#include "rdma/queue_pair.h"
+
+#include "rdma/fabric.h"
+
+namespace portus::rdma {
+
+QueuePair::QueuePair(Fabric& fabric, RdmaNic& nic, ProtectionDomain& pd, CompletionQueue& cq,
+                     std::uint32_t qp_num)
+    : fabric_{fabric},
+      nic_{nic},
+      pd_{pd},
+      cq_{cq},
+      qp_num_{qp_num},
+      sq_{nic.engine()},
+      rq_tokens_{nic.engine(), 0} {}
+
+void QueuePair::post(WorkRequest wr) {
+  PORTUS_CHECK_ARG(connected(), "post on unconnected QP");
+  sq_.push(std::move(wr));
+}
+
+void QueuePair::post_recv(RecvWr wr) {
+  rq_.push_back(wr);
+  rq_tokens_.release();
+}
+
+sim::Process QueuePair::run_send_queue() {
+  try {
+    for (;;) {
+      WorkRequest wr = co_await sq_.recv();
+      WorkCompletion wc = co_await fabric_.execute(*this, wr);
+      cq_.deliver(wc);
+    }
+  } catch (const Disconnected&) {
+    // QP torn down; nothing to flush (entries die with the channel).
+  }
+}
+
+sim::SubTask<WorkCompletion> QueuePair::read_sync(std::uint32_t lkey, std::uint64_t local_addr,
+                                                  Bytes length, std::uint32_t rkey,
+                                                  std::uint64_t remote_addr) {
+  const std::uint64_t id = next_sync_wr_id_++;
+  post(WorkRequest{.opcode = WcOpcode::kRead,
+                   .wr_id = id,
+                   .lkey = lkey,
+                   .local_addr = local_addr,
+                   .length = length,
+                   .rkey = rkey,
+                   .remote_addr = remote_addr});
+  WorkCompletion wc = co_await cq_.wait();
+  PORTUS_CHECK(wc.wr_id == id, "interleaved completion on exclusive QP (read_sync)");
+  co_return wc;
+}
+
+sim::SubTask<WorkCompletion> QueuePair::write_sync(std::uint32_t lkey, std::uint64_t local_addr,
+                                                   Bytes length, std::uint32_t rkey,
+                                                   std::uint64_t remote_addr) {
+  const std::uint64_t id = next_sync_wr_id_++;
+  post(WorkRequest{.opcode = WcOpcode::kWrite,
+                   .wr_id = id,
+                   .lkey = lkey,
+                   .local_addr = local_addr,
+                   .length = length,
+                   .rkey = rkey,
+                   .remote_addr = remote_addr});
+  WorkCompletion wc = co_await cq_.wait();
+  PORTUS_CHECK(wc.wr_id == id, "interleaved completion on exclusive QP (write_sync)");
+  co_return wc;
+}
+
+sim::SubTask<WorkCompletion> QueuePair::send_sync(std::uint32_t lkey, std::uint64_t local_addr,
+                                                  Bytes length) {
+  const std::uint64_t id = next_sync_wr_id_++;
+  post(WorkRequest{.opcode = WcOpcode::kSend,
+                   .wr_id = id,
+                   .lkey = lkey,
+                   .local_addr = local_addr,
+                   .length = length});
+  WorkCompletion wc = co_await cq_.wait();
+  PORTUS_CHECK(wc.wr_id == id, "interleaved completion on exclusive QP (send_sync)");
+  co_return wc;
+}
+
+}  // namespace portus::rdma

@@ -1,0 +1,94 @@
+// Reliable-connected queue pairs.
+//
+// Work requests posted to a QP execute strictly in order (RC ordering): an
+// internal executor process drains the send queue one WQE at a time, runs it
+// through the fabric, and delivers a completion to the CQ. Two-sided SENDs
+// match the remote QP's posted receive buffers FIFO; a SEND with no posted
+// receive waits (RNR retry, infinite retry count).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/units.h"
+#include "rdma/completion_queue.h"
+#include "rdma/memory_region.h"
+#include "rdma/nic.h"
+#include "sim/process.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace portus::rdma {
+
+class Fabric;
+
+struct WorkRequest {
+  WcOpcode opcode = WcOpcode::kRead;
+  std::uint64_t wr_id = 0;
+  // Local scatter/gather element (single SGE supported).
+  std::uint32_t lkey = 0;
+  std::uint64_t local_addr = 0;
+  Bytes length = 0;
+  // Remote side (one-sided ops).
+  std::uint32_t rkey = 0;
+  std::uint64_t remote_addr = 0;
+};
+
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  std::uint32_t lkey = 0;
+  std::uint64_t addr = 0;
+  Bytes length = 0;
+};
+
+class QueuePair {
+ public:
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  std::uint32_t qp_num() const { return qp_num_; }
+  bool connected() const { return peer_ != nullptr; }
+  QueuePair* peer() const { return peer_; }
+  RdmaNic& nic() { return nic_; }
+  ProtectionDomain& pd() { return pd_; }
+  CompletionQueue& cq() { return cq_; }
+
+  // Post to the send queue; the completion lands in cq() later.
+  void post(WorkRequest wr);
+  void post_recv(RecvWr wr);
+
+  // Convenience: post and await the matching completion. Requires that the
+  // caller is the only consumer of this QP's CQ (true for Portus daemon
+  // workers, which own one QP+CQ each).
+  sim::SubTask<WorkCompletion> read_sync(std::uint32_t lkey, std::uint64_t local_addr,
+                                         Bytes length, std::uint32_t rkey,
+                                         std::uint64_t remote_addr);
+  sim::SubTask<WorkCompletion> write_sync(std::uint32_t lkey, std::uint64_t local_addr,
+                                          Bytes length, std::uint32_t rkey,
+                                          std::uint64_t remote_addr);
+  sim::SubTask<WorkCompletion> send_sync(std::uint32_t lkey, std::uint64_t local_addr,
+                                         Bytes length);
+
+  std::size_t send_queue_depth() const { return sq_.size(); }
+
+ private:
+  friend class Fabric;
+  QueuePair(Fabric& fabric, RdmaNic& nic, ProtectionDomain& pd, CompletionQueue& cq,
+            std::uint32_t qp_num);
+
+  sim::Process run_send_queue();
+
+  Fabric& fabric_;
+  RdmaNic& nic_;
+  ProtectionDomain& pd_;
+  CompletionQueue& cq_;
+  std::uint32_t qp_num_;
+  QueuePair* peer_ = nullptr;
+  std::uint64_t next_sync_wr_id_ = 0x5E000000ull;
+
+  sim::Channel<WorkRequest> sq_;
+  std::deque<RecvWr> rq_;
+  sim::SimSemaphore rq_tokens_;  // counts posted receives (RNR waiting)
+};
+
+}  // namespace portus::rdma

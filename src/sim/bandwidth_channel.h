@@ -1,0 +1,104 @@
+// Fluid-flow (processor sharing) bandwidth channel.
+//
+// Models a shared link/device with capacity C. Concurrent transfers are
+// "flows"; instantaneous rates are assigned by max-min fair sharing with an
+// optional per-flow rate cap (water-filling): flows whose cap is below the
+// fair share get their cap, the residual capacity is split among the rest.
+//
+// This is how contention emerges in the reproduction: e.g. 16 Megatron
+// shards pulled concurrently through one storage-server NIC each see
+// ~C/16 until some finish, after which the survivors speed up — matching
+// the aggregate-bandwidth behaviour the paper reports in Fig. 14.
+//
+// Usage (inside a Process):
+//   co_await channel.transfer(bytes, per_flow_cap);
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <list>
+#include <string>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace portus::sim {
+
+// Optional concurrency-degradation model: some devices (notably Optane PMEM,
+// per Izraelevitz et al. and the paper's ref [41]) deliver *less* aggregate
+// bandwidth as writer count grows. Effective capacity with n active flows:
+//   C_eff(n) = C / (1 + beta * max(0, n - n0))
+// beta = 0 (default) is an ideal link.
+struct DegradationModel {
+  double beta = 0.0;
+  int n0 = 1;
+};
+
+class BandwidthChannel final : public Resettable {
+ public:
+  BandwidthChannel(Engine& engine, Bandwidth capacity, std::string name,
+                   DegradationModel degradation = {});
+  ~BandwidthChannel();
+  BandwidthChannel(const BandwidthChannel&) = delete;
+  BandwidthChannel& operator=(const BandwidthChannel&) = delete;
+
+  void reset_waiters() noexcept override;
+
+  struct Flow {
+    double remaining_bytes;
+    double cap_bps;   // per-flow rate cap (path bottleneck elsewhere)
+    double rate_bps;  // current assigned rate
+    std::coroutine_handle<> waiter;
+    std::uint64_t id;
+  };
+
+  struct TransferAwaitable {
+    BandwidthChannel& chan;
+    Bytes bytes;
+    Bandwidth cap;
+    bool await_ready() const noexcept { return bytes == 0; }
+    void await_suspend(std::coroutine_handle<> h) { chan.start_flow(bytes, cap, h); }
+    void await_resume() const noexcept {}
+  };
+
+  // Transfer `bytes` through the channel; completes when the flow's bytes
+  // have drained at the dynamically shared rate. `flow_cap` bounds this
+  // flow's rate (e.g. the GPU BAR read limit on one endpoint of the path).
+  TransferAwaitable transfer(Bytes bytes, Bandwidth flow_cap = Bandwidth::unlimited()) {
+    return TransferAwaitable{*this, bytes, flow_cap};
+  }
+
+  // Time a transfer of `bytes` would take if it ran alone right now.
+  Duration uncontended_time(Bytes bytes, Bandwidth flow_cap = Bandwidth::unlimited()) const;
+
+  Bandwidth capacity() const { return capacity_; }
+  int active_flows() const { return static_cast<int>(flows_.size()); }
+  double total_bytes_transferred() const { return total_bytes_; }
+  // Integral of (aggregate rate / capacity) dt — "busy seconds" for
+  // utilization reporting.
+  double busy_seconds() const { return busy_seconds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend struct TransferAwaitable;
+
+  void start_flow(Bytes bytes, Bandwidth cap, std::coroutine_handle<> waiter);
+  void settle();           // account progress since last_update_
+  void assign_rates();     // water-filling with per-flow caps
+  void schedule_next_completion();
+
+  double effective_capacity_bps() const;
+
+  Engine& engine_;
+  Bandwidth capacity_;
+  std::string name_;
+  DegradationModel degradation_;
+  std::list<Flow> flows_;
+  Time last_update_ = Time{0};
+  std::uint64_t next_flow_id_ = 0;
+  std::uint64_t event_generation_ = 0;  // invalidates stale completion events
+  double total_bytes_ = 0.0;
+  double busy_seconds_ = 0.0;
+};
+
+}  // namespace portus::sim

@@ -1,0 +1,102 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace portus::sim {
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  drain_retired();
+  // Destroy any still-live (suspended) coroutine frames. Coroutine
+  // destruction runs pending local destructors (e.g. an aborting
+  // CheckpointTxn), so callers should shut down while the objects those
+  // destructors touch are still alive.
+  for (auto h : live_) {
+    if (h) h.destroy();
+  }
+  live_.clear();
+  drain_retired();
+  while (!queue_.empty()) queue_.pop();
+  // Clear waiter registrations pointing at the frames just destroyed.
+  for (auto* r : resettables_) r->reset_waiters();
+}
+
+void Engine::deregister_resettable(Resettable* r) {
+  resettables_.erase(std::remove(resettables_.begin(), resettables_.end(), r),
+                     resettables_.end());
+}
+
+void Engine::schedule(Duration delay, std::function<void()> fn) {
+  PORTUS_CHECK_ARG(delay >= kZeroDuration, "cannot schedule events in the past");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+Process Engine::spawn(Process p) {
+  PORTUS_CHECK_ARG(p.valid(), "cannot spawn an empty process");
+  auto state = p.state();
+  state->engine = this;
+  auto handle = p.release_handle_for_spawn();
+  live_.push_back(handle);
+  schedule_now([handle] { handle.resume(); });
+  return p;
+}
+
+void Engine::resume_later(std::coroutine_handle<> h, Duration delay) {
+  schedule(delay, [h] { h.resume(); });
+}
+
+void Engine::retire_process(std::coroutine_handle<> h, std::shared_ptr<Process::State> state) {
+  retired_.push_back(h);
+  if (state && state->error) {
+    error_states_.push_back(std::move(state));
+  }
+}
+
+void Engine::drain_retired() {
+  for (auto h : retired_) {
+    live_.erase(std::remove(live_.begin(), live_.end(), h), live_.end());
+    h.destroy();
+  }
+  retired_.clear();
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the event is copied out via const_cast-free
+  // move by re-pushing semantics: copy the lightweight fields, then pop.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ev.fn();
+  ++events_processed_;
+  drain_retired();
+  return true;
+}
+
+Time Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+bool Engine::run_until(Time t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    step();
+  }
+  if (queue_.empty()) return true;
+  now_ = t;
+  return false;
+}
+
+int Engine::failed_process_count() const {
+  int n = 0;
+  for (const auto& s : error_states_) {
+    if (!s->observed) ++n;
+  }
+  return n;
+}
+
+}  // namespace portus::sim

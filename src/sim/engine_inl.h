@@ -1,0 +1,21 @@
+// Inline awaitable definitions for Engine. Separated to keep engine.h
+// readable; included at the bottom of engine.h.
+#pragma once
+
+#include <coroutine>
+
+#include "sim/engine.h"  // IWYU pragma: keep
+
+namespace portus::sim {
+
+struct SleepAwaitable {
+  Engine& engine;
+  Duration delay;
+  bool await_ready() const noexcept { return delay <= kZeroDuration; }
+  void await_suspend(std::coroutine_handle<> h) const { engine.resume_later(h, delay); }
+  void await_resume() const noexcept {}
+};
+
+inline auto Engine::sleep(Duration d) { return SleepAwaitable{*this, d}; }
+
+}  // namespace portus::sim

@@ -1,0 +1,21 @@
+#include "sim/process.h"
+
+#include "sim/engine.h"
+
+namespace portus::sim {
+
+void Process::promise_type::FinalAwaiter::await_suspend(
+    std::coroutine_handle<promise_type> h) noexcept {
+  // Copy the shared state: the frame (and its promise) may be destroyed by
+  // the engine before anyone reads it.
+  std::shared_ptr<State> state = h.promise().state;
+  state->done = true;
+  Engine* engine = state->engine;
+  for (auto joiner : state->joiners) {
+    engine->resume_later(joiner);
+  }
+  state->joiners.clear();
+  engine->retire_process(h, std::move(state));
+}
+
+}  // namespace portus::sim

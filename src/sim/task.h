@@ -1,0 +1,129 @@
+// SubTask<T>: a lazily-started, awaitable coroutine for composing simulation
+// operations ("do a PCIe copy, then an RDMA read, then a PMEM flush") inside
+// a Process without spawning separately scheduled processes.
+//
+//   sim::SubTask<int> op(Engine& eng) { co_await eng.sleep(1us); co_return 7; }
+//   ... int v = co_await op(eng);
+//
+// The child starts when awaited and resumes its awaiter on completion via
+// symmetric transfer. Resumption chains stay shallow because every suspend
+// inside a SubTask goes through the engine's event queue.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/error.h"
+
+namespace portus::sim {
+
+template <typename T>
+class SubTask;
+
+namespace detail {
+
+template <typename T>
+struct SubTaskPromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<T> h) noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  auto final_suspend() noexcept { return FinalAwaiter{}; }
+
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] SubTask {
+ public:
+  struct promise_type : detail::SubTaskPromiseBase<promise_type> {
+    std::optional<T> value;
+    SubTask get_return_object() {
+      return SubTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  SubTask(SubTask&& o) noexcept : handle_{std::exchange(o.handle_, nullptr)} {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask& operator=(SubTask&& o) noexcept {
+    if (this != &o) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;  // start the child
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+    PORTUS_CHECK(p.value.has_value(), "SubTask completed without a value");
+    return std::move(*p.value);
+  }
+
+ private:
+  explicit SubTask(std::coroutine_handle<promise_type> h) : handle_{h} {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] SubTask<void> {
+ public:
+  struct promise_type : detail::SubTaskPromiseBase<promise_type> {
+    SubTask get_return_object() {
+      return SubTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  SubTask(SubTask&& o) noexcept : handle_{std::exchange(o.handle_, nullptr)} {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask& operator=(SubTask&& o) noexcept {
+    if (this != &o) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(o.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().error) std::rethrow_exception(handle_.promise().error);
+  }
+
+ private:
+  explicit SubTask(std::coroutine_handle<promise_type> h) : handle_{h} {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace portus::sim

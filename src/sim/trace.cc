@@ -1,0 +1,118 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+
+#include "common/strformat.h"
+
+namespace portus::sim {
+
+Tracer::Span Tracer::span(std::string name, std::string track) {
+  events_.push_back(Event{.kind = Event::Kind::kSpan,
+                          .name = std::move(name),
+                          .track = std::move(track),
+                          .begin = engine_.now(),
+                          .open = true});
+  return Span{this, events_.size() - 1};
+}
+
+void Tracer::close(std::size_t index) {
+  auto& ev = events_.at(index);
+  PORTUS_CHECK(ev.open, "span closed twice");
+  ev.end = engine_.now();
+  ev.open = false;
+}
+
+void Tracer::instant(std::string name, std::string track) {
+  events_.push_back(Event{.kind = Event::Kind::kInstant,
+                          .name = std::move(name),
+                          .track = std::move(track),
+                          .begin = engine_.now()});
+}
+
+void Tracer::counter(std::string name, double value) {
+  events_.push_back(Event{.kind = Event::Kind::kCounter,
+                          .name = std::move(name),
+                          .track = {},
+                          .begin = engine_.now(),
+                          .value = value});
+}
+
+std::uint64_t Tracer::track_id(const std::string& track) {
+  const auto it = std::find(tracks_.begin(), tracks_.end(), track);
+  if (it != tracks_.end()) return static_cast<std::uint64_t>(it - tracks_.begin());
+  tracks_.push_back(track);
+  return tracks_.size() - 1;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += strf("\\u{:04x}", static_cast<unsigned>(c));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+double us(Time t) { return to_seconds(t) * 1e6; }
+
+}  // namespace
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  // tracks_ is mutable bookkeeping; rebuild ids deterministically here.
+  Tracer* self = const_cast<Tracer*>(this);
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Thread-name metadata so tracks render with readable labels.
+  std::vector<std::string> seen;
+  for (const auto& ev : events_) {
+    if (ev.kind == Event::Kind::kCounter) continue;
+    if (std::find(seen.begin(), seen.end(), ev.track) != seen.end()) continue;
+    seen.push_back(ev.track);
+    const auto tid = self->track_id(ev.track);
+    if (!first) out << ",\n";
+    first = false;
+    out << strf(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},"
+        "\"args\":{{\"name\":\"{}\"}}}}",
+        tid, json_escape(ev.track));
+  }
+  for (const auto& ev : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    switch (ev.kind) {
+      case Event::Kind::kSpan: {
+        const Time end = ev.open ? ev.begin : ev.end;
+        out << strf(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3f},"
+            "\"dur\":{:.3f}}}",
+            json_escape(ev.name), self->track_id(ev.track), us(ev.begin),
+            us(end - ev.begin + Time{0}));
+        break;
+      }
+      case Event::Kind::kInstant:
+        out << strf(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{:.3f},"
+            "\"s\":\"t\"}}",
+            json_escape(ev.name), self->track_id(ev.track), us(ev.begin));
+        break;
+      case Event::Kind::kCounter:
+        out << strf(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":1,\"ts\":{:.3f},"
+            "\"args\":{{\"value\":{:.6f}}}}}",
+            json_escape(ev.name), us(ev.begin), ev.value);
+        break;
+    }
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace portus::sim

@@ -1,0 +1,89 @@
+// Timeline tracing: records named spans against the virtual clock and
+// exports them in the Chrome trace-event format (chrome://tracing /
+// https://ui.perfetto.dev), so a checkpoint's anatomy — F/B/U phases,
+// control-plane round trips, per-tensor pulls, flag flips — can be inspected
+// visually. This is the observability story a production daemon would ship
+// with; the `timeline_trace` example writes a Fig. 9-style trace.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace portus::sim {
+
+class Tracer {
+ public:
+  explicit Tracer(Engine& engine) : engine_{engine} {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // RAII span: open on construction, closed on destruction (or end()).
+  class [[nodiscard]] Span {
+   public:
+    Span() = default;
+    Span(Span&& o) noexcept
+        : tracer_{std::exchange(o.tracer_, nullptr)}, index_{o.index_} {}
+    Span& operator=(Span&& o) noexcept {
+      if (this != &o) {
+        end();
+        tracer_ = std::exchange(o.tracer_, nullptr);
+        index_ = o.index_;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { end(); }
+
+    void end() {
+      if (tracer_ != nullptr) std::exchange(tracer_, nullptr)->close(index_);
+    }
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::size_t index) : tracer_{tracer}, index_{index} {}
+    Tracer* tracer_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  // Open a span on a named track (rendered as one row per track).
+  Span span(std::string name, std::string track);
+
+  // Instantaneous event marker.
+  void instant(std::string name, std::string track);
+
+  // Numeric counter sample (rendered as a chart row).
+  void counter(std::string name, double value);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  // Chrome trace-event JSON ("traceEvents" array; ts in microseconds).
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  struct Event {
+    enum class Kind : std::uint8_t { kSpan, kInstant, kCounter };
+    Kind kind;
+    std::string name;
+    std::string track;
+    Time begin{};
+    Time end{};
+    double value = 0.0;
+    bool open = false;
+  };
+
+  void close(std::size_t index);
+  std::uint64_t track_id(const std::string& track);
+
+  Engine& engine_;
+  std::vector<Event> events_;
+  std::vector<std::string> tracks_;
+};
+
+}  // namespace portus::sim

@@ -1,0 +1,53 @@
+#include "storage/ext4_nvme.h"
+
+namespace portus::storage {
+
+Ext4NvmeFs::Ext4NvmeFs(sim::Engine& engine, std::string label, NvmeSpec spec)
+    : engine_{engine}, label_{std::move(label)}, spec_{spec} {
+  device_write_ = std::make_unique<sim::BandwidthChannel>(engine, spec.write_bw,
+                                                          label_ + "/nvme-write");
+  device_read_ = std::make_unique<sim::BandwidthChannel>(engine, spec.read_bw,
+                                                         label_ + "/nvme-read");
+}
+
+sim::SubTask<> Ext4NvmeFs::charge_io(Bytes size, bool write, bool gpu_direct) {
+  auto& device = write ? *device_write_ : *device_read_;
+  const auto kernel_cost =
+      gpu_direct ? spec_.kernel_cost_per_chunk_gds : spec_.kernel_cost_per_chunk;
+  Bytes done = 0;
+  while (done < size) {
+    const Bytes n = std::min(spec_.chunk, size - done);
+    co_await engine_.sleep(kernel_cost);
+    co_await device.transfer(n);
+    done += n;
+  }
+}
+
+sim::SubTask<> Ext4NvmeFs::write_file(std::string path, Bytes size,
+                                      const std::vector<std::byte>* contents) {
+  co_await engine_.sleep(spec_.open_cost);
+  co_await charge_io(size, /*write=*/true, /*gpu_direct=*/false);
+  co_await engine_.sleep(spec_.fsync_cost);
+  files_.put(std::move(path), size, contents);
+}
+
+sim::SubTask<std::vector<std::byte>> Ext4NvmeFs::read_file(std::string path) {
+  const auto& entry = files_.get(path);  // throws NotFound before any time passes
+  co_await engine_.sleep(spec_.open_cost);
+  co_await charge_io(entry.size, /*write=*/false, /*gpu_direct=*/false);
+  co_return entry.contents.value_or(std::vector<std::byte>{});
+}
+
+sim::SubTask<Bytes> Ext4NvmeFs::read_file_time_only(std::string path, bool gpu_direct) {
+  const auto& entry = files_.get(path);
+  co_await engine_.sleep(spec_.open_cost);
+  co_await charge_io(entry.size, /*write=*/false, gpu_direct);
+  co_return entry.size;
+}
+
+sim::SubTask<> Ext4NvmeFs::remove(std::string path) {
+  co_await engine_.sleep(spec_.open_cost);
+  files_.remove(path);
+}
+
+}  // namespace portus::storage

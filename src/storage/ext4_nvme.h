@@ -1,0 +1,60 @@
+// Local ext4 on a PCIe 4.0 NVMe SSD — the paper's "ext4-NVMe" baseline.
+//
+// Fig. 13 shows this path spending 53.7% of its checkpoint time interacting
+// with the block device through kernel crossings. The model charges, per
+// 512 KiB block-layer request: a fixed kernel cost (syscall, page-cache
+// copy, bio submit/complete) plus device time at the SSD's sequential rate
+// (2.7 GB/s write — the paper's quoted PM9A3 ceiling — and faster reads).
+// An fsync barrier lands at file commit. GPUDirect Storage reads skip the
+// page-cache copy.
+#pragma once
+
+#include <memory>
+
+#include "sim/bandwidth_channel.h"
+#include "sim/engine.h"
+#include "storage/filesystem.h"
+
+namespace portus::storage {
+
+struct NvmeSpec {
+  Bandwidth write_bw = Bandwidth::gb_per_sec(2.7);  // PM9A3 sequential ceiling
+  Bandwidth read_bw = Bandwidth::gb_per_sec(5.5);
+  // Syscall + page-cache copy + bio submit/complete per 512 KiB request;
+  // calibrated so the block stage is ~half of an ext4 checkpoint (Fig. 13).
+  Duration kernel_cost_per_chunk = std::chrono::microseconds{220};
+  Duration kernel_cost_per_chunk_gds = std::chrono::microseconds{40};
+  Duration open_cost = std::chrono::microseconds{200};
+  Duration fsync_cost = std::chrono::milliseconds{1};
+  Bytes chunk = 512_KiB;
+};
+
+class Ext4NvmeFs final : public CheckpointStorage {
+ public:
+  Ext4NvmeFs(sim::Engine& engine, std::string label, NvmeSpec spec = NvmeSpec{});
+
+  sim::SubTask<> write_file(std::string path, Bytes size,
+                            const std::vector<std::byte>* contents) override;
+  sim::SubTask<std::vector<std::byte>> read_file(std::string path) override;
+  sim::SubTask<Bytes> read_file_time_only(std::string path, bool gpu_direct) override;
+  sim::SubTask<> remove(std::string path) override;
+
+  bool exists(const std::string& path) const override { return files_.exists(path); }
+  Bytes file_size(const std::string& path) const override { return files_.get(path).size; }
+  const std::string& label() const override { return label_; }
+
+  const NvmeSpec& spec() const { return spec_; }
+
+ private:
+  sim::SubTask<> charge_io(Bytes size, bool write, bool gpu_direct);
+
+  sim::Engine& engine_;
+  std::string label_;
+  NvmeSpec spec_;
+  // The SSD itself: concurrent writers share device bandwidth.
+  std::unique_ptr<sim::BandwidthChannel> device_write_;
+  std::unique_ptr<sim::BandwidthChannel> device_read_;
+  FileTable files_;
+};
+
+}  // namespace portus::storage

@@ -1,0 +1,5 @@
+#include "storage/filesystem.h"
+
+// Interface-only translation unit: anchors the CheckpointStorage vtable.
+
+namespace portus::storage {}  // namespace portus::storage

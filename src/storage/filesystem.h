@@ -1,0 +1,82 @@
+// Checkpoint storage backends.
+//
+// CheckpointStorage is the narrow interface the torch.save()/CheckFreq
+// baselines write through: whole-file create/write/commit and whole-file
+// read. Implementations model the paper's two baseline targets —
+// a local ext4 file system on NVMe SSDs and a remote BeeGFS on fsdax PMEM —
+// including their kernel-crossing and metadata costs (Fig. 3 / Fig. 5(a)).
+//
+// Contents may be phantom (size-only) for large-model timing runs: pass a
+// null contents pointer to write_file.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace portus::storage {
+
+class CheckpointStorage {
+ public:
+  virtual ~CheckpointStorage() = default;
+
+  // Create/overwrite `path` with `size` bytes, durable on return. `contents`
+  // may be null (phantom write: time charged, no bytes kept).
+  virtual sim::SubTask<> write_file(std::string path, Bytes size,
+                                    const std::vector<std::byte>* contents) = 0;
+
+  // Read the whole file (throws NotFound). Phantom files return empty data.
+  virtual sim::SubTask<std::vector<std::byte>> read_file(std::string path) = 0;
+
+  // Timing-only read used when the consumer is GPUDirect Storage (data goes
+  // straight to GPU memory; the host never materializes it). Returns size.
+  virtual sim::SubTask<Bytes> read_file_time_only(std::string path, bool gpu_direct) = 0;
+
+  virtual sim::SubTask<> remove(std::string path) = 0;
+
+  virtual bool exists(const std::string& path) const = 0;
+  virtual Bytes file_size(const std::string& path) const = 0;
+  virtual const std::string& label() const = 0;
+};
+
+// Shared in-memory file table used by the backends.
+class FileTable {
+ public:
+  struct Entry {
+    Bytes size = 0;
+    std::optional<std::vector<std::byte>> contents;  // nullopt => phantom
+  };
+
+  void put(std::string path, Bytes size, const std::vector<std::byte>* contents) {
+    Entry e;
+    e.size = size;
+    if (contents != nullptr) {
+      PORTUS_CHECK_ARG(contents->size() == size, "file size/contents mismatch");
+      e.contents = *contents;
+    }
+    files_[std::move(path)] = std::move(e);
+  }
+  const Entry& get(const std::string& path) const {
+    const auto it = files_.find(path);
+    if (it == files_.end()) throw NotFound("no such file: " + path);
+    return it->second;
+  }
+  bool exists(const std::string& path) const { return files_.contains(path); }
+  void remove(const std::string& path) { files_.erase(path); }
+  std::vector<std::string> list() const {
+    std::vector<std::string> out;
+    out.reserve(files_.size());
+    for (const auto& [k, v] : files_) out.push_back(k);
+    return out;
+  }
+
+ private:
+  std::map<std::string, Entry> files_;
+};
+
+}  // namespace portus::storage

@@ -1,0 +1,78 @@
+#include "storage/serializer.h"
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+
+namespace portus::storage {
+
+std::vector<std::byte> CheckpointSerializer::serialize(const CheckpointFile& file) {
+  BinaryWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.str(file.model_name);
+  w.u32(static_cast<std::uint32_t>(file.tensors.size()));
+  for (const auto& t : file.tensors) {
+    PORTUS_CHECK_ARG(t.data.size() == t.meta.byte_size(),
+                     "tensor payload does not match its metadata: " + t.meta.name);
+    w.str(t.meta.name);
+    w.u8(static_cast<std::uint8_t>(t.meta.dtype));
+    w.u32(static_cast<std::uint32_t>(t.meta.shape.size()));
+    for (const auto d : t.meta.shape) w.i64(d);
+    w.u64(t.data.size());
+    w.raw(t.data);
+    w.u32(Crc32::of(t.data));
+  }
+  w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
+  return w.take();
+}
+
+CheckpointFile CheckpointSerializer::deserialize(std::span<const std::byte> bytes) {
+  if (bytes.size() < 4 + 2 + 4 + 4 + 4) throw Corruption("checkpoint container too small");
+  const auto body = bytes.first(bytes.size() - 4);
+  BinaryReader trailer{bytes.subspan(bytes.size() - 4)};
+  if (trailer.u32() != Crc32::of(body.data(), body.size())) {
+    throw Corruption("checkpoint container CRC mismatch");
+  }
+
+  BinaryReader r{body};
+  if (r.u32() != kMagic) throw Corruption("bad checkpoint magic");
+  if (r.u16() != kVersion) throw Corruption("unsupported checkpoint version");
+
+  CheckpointFile file;
+  file.model_name = r.str();
+  const auto count = r.u32();
+  file.tensors.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SerializedTensor t;
+    t.meta.name = r.str();
+    t.meta.dtype = static_cast<dnn::DType>(r.u8());
+    const auto ndim = r.u32();
+    if (ndim > 16) throw Corruption("implausible tensor rank");
+    t.meta.shape.resize(ndim);
+    for (auto& d : t.meta.shape) d = r.i64();
+    const auto len = r.u64();
+    const auto payload = r.raw(len);
+    t.data.assign(payload.begin(), payload.end());
+    if (r.u32() != Crc32::of(t.data.data(), t.data.size())) {
+      throw Corruption("tensor payload CRC mismatch: " + t.meta.name);
+    }
+    if (t.data.size() != t.meta.byte_size()) {
+      throw Corruption("tensor payload size does not match shape: " + t.meta.name);
+    }
+    file.tensors.push_back(std::move(t));
+  }
+  if (!r.at_end()) throw Corruption("trailing bytes in checkpoint container");
+  return file;
+}
+
+Bytes CheckpointSerializer::container_size(const dnn::Model& model) {
+  Bytes total = 4 + 2 + (4 + model.name().size()) + 4 + 4;  // header + trailer crc
+  for (const auto& t : model.tensors()) {
+    total += 4 + t.meta().name.size();             // name
+    total += 1 + 4 + 8 * t.meta().shape.size();    // dtype + ndim + dims
+    total += 8 + t.byte_size() + 4;                // len + payload + crc
+  }
+  return total;
+}
+
+}  // namespace portus::storage

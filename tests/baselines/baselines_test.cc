@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "baselines/checkfreq.h"
+#include "baselines/torch_save.h"
+#include "dnn/model_zoo.h"
+#include "net/cluster.h"
+#include "storage/beegfs.h"
+#include "storage/ext4_nvme.h"
+
+namespace portus::baselines {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Fixture {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster = net::Cluster::paper_testbed(eng);
+  net::Node& client = cluster->node("client-volta");
+  gpu::GpuDevice& gpu = client.gpu(0);
+  storage::Ext4NvmeFs local_fs{eng, "ext4-nvme"};
+
+  dnn::Model small_model(const std::string& name, double scale = 0.02) {
+    dnn::ModelZoo::Options opt;
+    opt.scale = scale;
+    return dnn::ModelZoo::create(gpu, name, opt);
+  }
+};
+
+TEST(TorchSaveTest, CheckpointRestoreRoundTripsBytes) {
+  Fixture f;
+  auto model = f.small_model("resnet50");
+  const auto crc = model.weights_crc();
+
+  TorchSaveCheckpointer ckpt{f.client, f.gpu, f.local_fs};
+  bool ok = false;
+  f.eng.spawn([](Fixture& fx, TorchSaveCheckpointer& c, dnn::Model& m, std::uint32_t crc0,
+                 bool& done) -> sim::Process {
+    co_await c.checkpoint(m, "/ckpt.ptck");
+    m.mutate_weights(42);  // diverge
+    EXPECT_NE(m.weights_crc(), crc0);
+    co_await c.restore(m, "/ckpt.ptck");
+    EXPECT_EQ(m.weights_crc(), crc0) << "restore must be bit-exact";
+    done = true;
+    (void)fx;
+  }(f, ckpt, model, crc, ok));
+  f.eng.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(f.eng.failed_process_count(), 0);
+}
+
+TEST(TorchSaveTest, BreakdownMatchesTableOneShape) {
+  // BERT to BeeGFS-PMEM: DtoH ~15%, serialize ~40%, fs write ~45% of the
+  // total (Table I: 15.5 / 41.7 / 30.0+12.8).
+  Fixture f;
+  storage::BeeGfsServer server{f.cluster->node("server")};
+  storage::BeeGfsMount mount{*f.cluster, f.client, server, "mnt0"};
+  dnn::ModelZoo::Options opt;
+  opt.force_phantom = true;  // timing-only; full 1282 MiB
+  auto model = dnn::ModelZoo::create(f.gpu, "bert", opt);
+
+  TorchSaveCheckpointer ckpt{f.client, f.gpu, mount};
+  TorchSaveCheckpointer::CheckpointTimings t;
+  f.eng.spawn([](TorchSaveCheckpointer& c, dnn::Model& m,
+                 TorchSaveCheckpointer::CheckpointTimings& out) -> sim::Process {
+    out = co_await c.checkpoint(m, "/bert.ptck");
+  }(ckpt, model, t));
+  f.eng.run();
+
+  const double total = to_seconds(t.total);
+  EXPECT_GT(total, 1.0);
+  EXPECT_LT(total, 3.5);
+  EXPECT_NEAR(to_seconds(t.dtoh) / total, 0.155, 0.06);
+  EXPECT_NEAR(to_seconds(t.serialize) / total, 0.417, 0.08);
+  EXPECT_NEAR(to_seconds(t.fs_write) / total, 0.428, 0.10);
+}
+
+TEST(TorchSaveTest, GdsRestoreSkipsHtoD) {
+  Fixture f;
+  dnn::ModelZoo::Options opt;
+  opt.force_phantom = true;
+  auto model = dnn::ModelZoo::create(f.gpu, "vgg19_bn", opt);
+  TorchSaveCheckpointer ckpt{f.client, f.gpu, f.local_fs};
+  TorchSaveCheckpointer::RestoreTimings gds{}, buffered{};
+  f.eng.spawn([](TorchSaveCheckpointer& c, dnn::Model& m,
+                 TorchSaveCheckpointer::RestoreTimings& g,
+                 TorchSaveCheckpointer::RestoreTimings& b) -> sim::Process {
+    co_await c.checkpoint(m, "/x.ptck");
+    g = co_await c.restore(m, "/x.ptck", /*gpu_direct=*/true);
+    b = co_await c.restore(m, "/x.ptck", /*gpu_direct=*/false);
+  }(ckpt, model, gds, buffered));
+  f.eng.run();
+  EXPECT_EQ(gds.htod, 0ns);
+  EXPECT_GT(buffered.htod, 0ns);
+  EXPECT_LT(gds.total, buffered.total);
+}
+
+TEST(CheckFreqTest, ProfileIntervalMeasuresRealCosts) {
+  // The profiling phase must land on the same interval the analytic tuner
+  // gives for the measured checkpoint cost.
+  Fixture f;
+  dnn::ModelZoo::Options opt;
+  opt.force_phantom = true;
+  auto model = dnn::ModelZoo::create(f.gpu, "vit_l_32", opt);
+  storage::BeeGfsServer server{f.cluster->node("server")};
+  storage::BeeGfsMount mount{*f.cluster, f.client, server, "mnt0"};
+
+  std::uint64_t interval = 0;
+  f.eng.spawn([](Fixture& fx, storage::BeeGfsMount& m, dnn::Model& mdl,
+                 std::uint64_t& out) -> sim::Process {
+    out = co_await CheckFreqHook::profile_interval(fx.client, fx.gpu, mdl, m, 80ms);
+  }(f, mount, model, interval));
+  f.eng.run();
+  // VIT-L/32 via BeeGFS costs ~1.7 s; at the 3.5% default budget and 80 ms
+  // iterations that is ~600 iterations. The paper quotes 83 for CheckFreq's
+  // own (33%-ish) operating point; both come from the same tuner curve.
+  EXPECT_GT(interval, 400u);
+  EXPECT_LT(interval, 900u);
+  EXPECT_FALSE(mount.exists("/checkfreq-profile.tmp")) << "profiling must clean up";
+  EXPECT_EQ(f.eng.failed_process_count(), 0);
+}
+
+TEST(CheckFreqTest, TunerPicksPaperLikeIntervals) {
+  // VIT: 80 ms iterations, ~2.2 s checkpoint -> every ~83 iterations at a
+  // 33% overhead... the paper's quoted "1 per 83" comes from CheckFreq's
+  // profiling; with our cost model the tuned interval lands in that region.
+  const auto interval = CheckFreqHook::tune_interval(80ms, 2200ms, 0.33);
+  EXPECT_GE(interval, 60u);
+  EXPECT_LE(interval, 110u);
+  EXPECT_EQ(CheckFreqHook::tune_interval(1s, 1s, 1.0), 1u);
+}
+
+TEST(CheckFreqTest, SnapshotOverlapsComputeButBlocksUpdate) {
+  Fixture f;
+  auto model = f.small_model("vgg19_bn", 0.05);
+  CheckFreqHook hook{f.client, f.gpu, model, f.local_fs, 1, "/cf/ckpt"};
+
+  dnn::TrainingStats stats;
+  dnn::TrainingConfig cfg{.iteration_time = 50ms, .update_fraction = 0.1,
+                          .busy_fraction = 1.0, .mutate_weights = false};
+  f.eng.spawn([](Fixture& fx, CheckFreqHook& h, dnn::TrainingStats& st,
+                 dnn::TrainingConfig c, dnn::Model& m) -> sim::Process {
+    co_await fx.eng.spawn(dnn::train(fx.eng, fx.gpu, &m, c, 5, h, st)).join();
+    co_await h.drain();
+  }(f, hook, stats, cfg, model));
+  f.eng.run();
+  EXPECT_EQ(stats.iterations_done, 5u);
+  EXPECT_EQ(hook.stats().snapshots, 5u);
+  EXPECT_EQ(hook.stats().persists, 5u);
+  EXPECT_FALSE(hook.last_persisted_path().empty());
+  EXPECT_TRUE(f.local_fs.exists(hook.last_persisted_path()));
+}
+
+TEST(CheckFreqTest, OldCheckpointFilesAreReplaced) {
+  Fixture f;
+  auto model = f.small_model("alexnet", 0.05);
+  CheckFreqHook hook{f.client, f.gpu, model, f.local_fs, 2, "/cf/ckpt"};
+  dnn::TrainingStats stats;
+  dnn::TrainingConfig cfg{.iteration_time = 100ms, .update_fraction = 0.1,
+                          .busy_fraction = 1.0, .mutate_weights = false};
+  f.eng.spawn([](Fixture& fx, CheckFreqHook& h, dnn::TrainingStats& st, dnn::TrainingConfig c,
+                 dnn::Model& m) -> sim::Process {
+    co_await fx.eng.spawn(dnn::train(fx.eng, fx.gpu, &m, c, 6, h, st)).join();
+    co_await h.drain();
+  }(f, hook, stats, cfg, model));
+  f.eng.run();
+  EXPECT_EQ(hook.stats().persists, 3u);  // iterations 2, 4, 6
+  EXPECT_TRUE(f.local_fs.exists("/cf/ckpt.iter6"));
+  EXPECT_FALSE(f.local_fs.exists("/cf/ckpt.iter4"));
+  EXPECT_FALSE(f.local_fs.exists("/cf/ckpt.iter2"));
+}
+
+TEST(CheckFreqTest, SlowPersistThrottlesTriggers) {
+  // Checkpoint every iteration with a persist that takes longer than an
+  // iteration: triggers must be throttled, not queued without bound.
+  Fixture f;
+  dnn::ModelZoo::Options opt;
+  opt.force_phantom = true;
+  auto model = dnn::ModelZoo::create(f.gpu, "vit_l_32", opt);  // 1.1 GiB
+  CheckFreqHook hook{f.client, f.gpu, model, f.local_fs, 1, "/cf/vit"};
+  dnn::TrainingStats stats;
+  dnn::TrainingConfig cfg{.iteration_time = 80ms, .update_fraction = 0.1,
+                          .busy_fraction = 1.0, .mutate_weights = false};
+  f.eng.spawn([](Fixture& fx, CheckFreqHook& h, dnn::TrainingStats& st, dnn::TrainingConfig c,
+                 dnn::Model& m) -> sim::Process {
+    co_await fx.eng.spawn(dnn::train(fx.eng, fx.gpu, &m, c, 4, h, st)).join();
+    co_await h.drain();
+  }(f, hook, stats, cfg, model));
+  f.eng.run();
+  EXPECT_GT(hook.stats().throttled_triggers, 0u);
+  EXPECT_GT(stats.checkpoint_stall, 0ms) << "slow storage must stall training";
+}
+
+}  // namespace
+}  // namespace portus::baselines

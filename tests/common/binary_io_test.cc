@@ -1,0 +1,94 @@
+#include "common/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+
+namespace portus {
+namespace {
+
+TEST(BinaryIoTest, RoundTripScalars) {
+  BinaryWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159);
+
+  BinaryReader r{w.buffer()};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryIoTest, RoundTripStringsAndBytes) {
+  BinaryWriter w;
+  w.str("model.layer1.weight");
+  w.str("");
+  std::vector<std::byte> payload(777);
+  Rng{3}.fill(payload);
+  w.bytes(payload);
+
+  BinaryReader r{w.buffer()};
+  EXPECT_EQ(r.str(), "model.layer1.weight");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryIoTest, RawViewAdvancesCursor) {
+  BinaryWriter w;
+  w.u32(1);
+  const char blob[4] = {'a', 'b', 'c', 'd'};
+  w.raw(blob, 4);
+  w.u32(2);
+
+  BinaryReader r{w.buffer()};
+  EXPECT_EQ(r.u32(), 1u);
+  auto view = r.raw(4);
+  EXPECT_EQ(static_cast<char>(view[0]), 'a');
+  EXPECT_EQ(static_cast<char>(view[3]), 'd');
+  EXPECT_EQ(r.u32(), 2u);
+}
+
+TEST(BinaryIoTest, TruncatedReadThrowsCorruption) {
+  BinaryWriter w;
+  w.u32(7);
+  BinaryReader r{w.buffer()};
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u8(), Corruption);
+}
+
+TEST(BinaryIoTest, TruncatedStringThrowsCorruption) {
+  BinaryWriter w;
+  w.u32(1000);  // claims 1000 bytes follow; none do
+  BinaryReader r{w.buffer()};
+  EXPECT_THROW(r.str(), Corruption);
+}
+
+TEST(BinaryIoTest, ExtremeValues) {
+  BinaryWriter w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  BinaryReader r{w.buffer()};
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(BinaryIoTest, TakeMovesBufferOut) {
+  BinaryWriter w;
+  w.u32(9);
+  auto buf = w.take();
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace portus

@@ -1,0 +1,81 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace portus {
+namespace {
+
+std::uint32_t crc_of_string(std::string_view s) {
+  return Crc32::of(s.data(), s.size());
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Reference values for the IEEE CRC-32 polynomial.
+  EXPECT_EQ(crc_of_string(""), 0x00000000u);
+  EXPECT_EQ(crc_of_string("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc_of_string("abc"), 0x352441C2u);
+  EXPECT_EQ(crc_of_string("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc_of_string("The quick brown fox jumps over the lazy dog"), 0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  Rng rng{42};
+  std::vector<std::byte> data(10'000);
+  rng.fill(data);
+
+  const auto oneshot = Crc32::of(data);
+  Crc32 inc;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t chunk = std::min<std::size_t>(rng.uniform(1, 977), data.size() - pos);
+    inc.update(std::span<const std::byte>{data}.subspan(pos, chunk));
+    pos += chunk;
+  }
+  EXPECT_EQ(inc.value(), oneshot);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  Rng rng{7};
+  std::vector<std::byte> data(4096);
+  rng.fill(data);
+  const auto before = Crc32::of(data);
+  data[1234] ^= std::byte{0x10};
+  EXPECT_NE(Crc32::of(data), before);
+}
+
+TEST(Crc32Test, ResetRestartsState) {
+  Crc32 c;
+  c.update("abc", 3);
+  c.reset();
+  c.update("123456789", 9);
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+class Crc32ChunkTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Crc32ChunkTest, ChunkingIsTransparent) {
+  const std::size_t chunk = GetParam();
+  Rng rng{chunk};
+  std::vector<std::byte> data(8192);
+  rng.fill(data);
+
+  Crc32 inc;
+  for (std::size_t pos = 0; pos < data.size(); pos += chunk) {
+    const auto n = std::min(chunk, data.size() - pos);
+    inc.update(std::span<const std::byte>{data}.subspan(pos, n));
+  }
+  EXPECT_EQ(inc.value(), Crc32::of(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, Crc32ChunkTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 1000, 4096, 8192));
+
+}  // namespace
+}  // namespace portus

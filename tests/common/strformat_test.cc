@@ -1,0 +1,54 @@
+#include "common/strformat.h"
+
+#include <gtest/gtest.h>
+
+namespace portus {
+namespace {
+
+TEST(StrfTest, BasicSubstitution) {
+  EXPECT_EQ(strf("{} of {}", 3, "7"), "3 of 7");
+  EXPECT_EQ(strf("no args"), "no args");
+  EXPECT_EQ(strf("{}", std::string{"hello"}), "hello");
+  EXPECT_EQ(strf("{}{}{}", 1, 2, 3), "123");
+}
+
+TEST(StrfTest, EscapedBraces) {
+  EXPECT_EQ(strf("{{literal}}"), "{literal}");
+  EXPECT_EQ(strf("a {{{}}} b", 5), "a {5} b");
+}
+
+TEST(StrfTest, FloatPrecision) {
+  EXPECT_EQ(strf("{:.3f}", 1.25), "1.250");
+  EXPECT_EQ(strf("{:.1f}", 2.0 / 3.0), "0.7");
+  EXPECT_EQ(strf("{:6.2f}", 3.14159), "  3.14");
+}
+
+TEST(StrfTest, IntegerConversions) {
+  EXPECT_EQ(strf("{:08x}", 0xbeef), "0000beef");
+  EXPECT_EQ(strf("{:02x}", 7), "07");
+  EXPECT_EQ(strf("{}", -42), "-42");
+  EXPECT_EQ(strf("{}", 18446744073709551615ull), "18446744073709551615");
+  EXPECT_EQ(strf("{}", true), "true");
+  EXPECT_EQ(strf("{:.1f}", 3), "3.0");
+}
+
+TEST(StrfTest, Alignment) {
+  EXPECT_EQ(strf("{:<8}|", "ab"), "ab      |");
+  EXPECT_EQ(strf("{:>8}|", "ab"), "      ab|");
+  EXPECT_EQ(strf("{:^8}|", "ab"), "   ab   |");
+  EXPECT_EQ(strf("{:<6}|", 42), "42    |");
+  EXPECT_EQ(strf("{:>6}|", 42), "    42|");
+  EXPECT_EQ(strf("{:8}|", 42), "      42|") << "bare width right-aligns numbers";
+  EXPECT_EQ(strf("{:>10.2f}|", 3.14159), "      3.14|");
+  // Text longer than the field is not truncated.
+  EXPECT_EQ(strf("{:<3}", "abcdef"), "abcdef");
+}
+
+TEST(StrfTest, ErrorsThrow) {
+  EXPECT_THROW(strf("{"), InvalidArgument);
+  EXPECT_THROW(strf("{}"), InvalidArgument);           // missing argument
+  EXPECT_THROW(strf("{0}", 1), InvalidArgument);       // explicit indexing unsupported
+}
+
+}  // namespace
+}  // namespace portus

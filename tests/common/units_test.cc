@@ -1,0 +1,51 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace portus {
+namespace {
+
+TEST(UnitsTest, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(1_GB, 1'000'000'000ull);
+  EXPECT_EQ(89.6_GB, static_cast<Bytes>(89.6e9));
+}
+
+TEST(UnitsTest, BandwidthConversions) {
+  const auto hundred_gbps = Bandwidth::gbps(100);
+  EXPECT_DOUBLE_EQ(hundred_gbps.bytes_per_second(), 12.5e9);
+  EXPECT_DOUBLE_EQ(Bandwidth::gb_per_sec(5.8).gb_per_second(), 5.8);
+}
+
+TEST(UnitsTest, TimeForBytes) {
+  const auto bw = Bandwidth::gb_per_sec(1.0);  // 1e9 B/s
+  EXPECT_EQ(bw.time_for(1_GB), from_seconds(1.0));
+  EXPECT_EQ(bw.time_for(0), kZeroDuration);
+  EXPECT_EQ(Bandwidth::unlimited().time_for(123456789), kZeroDuration);
+}
+
+TEST(UnitsTest, MinBandwidth) {
+  const auto a = Bandwidth::gb_per_sec(5.8);
+  const auto b = Bandwidth::gb_per_sec(8.3);
+  EXPECT_EQ(min(a, b), a);
+  EXPECT_EQ(min(b, a), a);
+}
+
+TEST(UnitsTest, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(std::chrono::milliseconds{250}), 0.25);
+}
+
+TEST(UnitsTest, Formatting) {
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(2048), "2.0KiB");
+  EXPECT_EQ(format_bytes(1282_MiB), "1.25GiB");
+  EXPECT_EQ(format_duration(from_seconds(1.25)), "1.250s");
+  EXPECT_EQ(format_duration(std::chrono::microseconds{1500}), "1.500ms");
+  EXPECT_EQ(format_bandwidth(Bandwidth::gb_per_sec(5.8)), "5.80GB/s");
+}
+
+}  // namespace
+}  // namespace portus

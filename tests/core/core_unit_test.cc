@@ -1,0 +1,386 @@
+// Unit tests for the daemon's persistent structures: protocol encoding,
+// allocator, ModelTable, MIndex, checkpoint transactions.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/daemon/allocator.h"
+#include "core/daemon/mindex.h"
+#include "core/daemon/model_table.h"
+#include "core/daemon/slots.h"
+#include "core/protocol.h"
+
+namespace portus::core {
+namespace {
+
+// --- protocol ----------------------------------------------------------------
+
+RegisterModelMsg sample_registration() {
+  RegisterModelMsg m;
+  m.model_name = "bert";
+  m.qp_token = 0xCAFE1234;
+  m.phantom = false;
+  for (int i = 0; i < 3; ++i) {
+    m.tensors.push_back(TensorDesc{
+        .name = "bert.layer" + std::to_string(i),
+        .dtype = dnn::DType::kF32,
+        .shape = {512, 1024},
+        .size = 512 * 1024 * 4,
+        .gpu_addr = 0xFFFF0000ull + static_cast<std::uint64_t>(i) * 0x1000,
+        .rkey = 0x1000u + static_cast<std::uint32_t>(i),
+    });
+  }
+  return m;
+}
+
+TEST(ProtocolTest, RegisterModelRoundTrip) {
+  const auto msg = sample_registration();
+  const auto wire = encode(msg);
+  EXPECT_EQ(decode_type(wire), MsgType::kRegisterModel);
+  const auto back = decode_register_model(wire);
+  EXPECT_EQ(back.model_name, "bert");
+  EXPECT_EQ(back.qp_token, 0xCAFE1234u);
+  ASSERT_EQ(back.tensors.size(), 3u);
+  EXPECT_EQ(back.tensors[1].name, "bert.layer1");
+  EXPECT_EQ(back.tensors[1].shape, (std::vector<std::int64_t>{512, 1024}));
+  EXPECT_EQ(back.tensors[1].size, 512u * 1024 * 4);
+  EXPECT_EQ(back.tensors[2].rkey, 0x1002u);
+  EXPECT_EQ(back.total_bytes(), 3u * 512 * 1024 * 4);
+}
+
+TEST(ProtocolTest, AllControlMessagesRoundTrip) {
+  {
+    const auto w = encode(CheckpointReqMsg{.model_name = "m", .iteration = 7});
+    const auto b = decode_checkpoint_req(w);
+    EXPECT_EQ(b.model_name, "m");
+    EXPECT_EQ(b.iteration, 7u);
+  }
+  {
+    const auto w = encode(CheckpointDoneMsg{.model_name = "m", .epoch = 3, .ok = true});
+    const auto b = decode_checkpoint_done(w);
+    EXPECT_TRUE(b.ok);
+    EXPECT_EQ(b.epoch, 3u);
+  }
+  {
+    const auto w = encode(RestoreDoneMsg{.model_name = "m", .ok = false, .error = "nope"});
+    const auto b = decode_restore_done(w);
+    EXPECT_FALSE(b.ok);
+    EXPECT_EQ(b.error, "nope");
+  }
+  {
+    const auto w = encode(FinishJobMsg{.model_name = "gpt"});
+    EXPECT_EQ(decode_finish_job(w).model_name, "gpt");
+  }
+}
+
+TEST(ProtocolTest, WrongTypeDecodingThrows) {
+  const auto wire = encode(CheckpointReqMsg{.model_name = "m"});
+  EXPECT_THROW(decode_register_model(wire), Corruption);
+}
+
+TEST(ProtocolTest, QpRendezvous) {
+  QpRendezvous rv;
+  // No real QP needed for registry mechanics: use a fake pointer identity.
+  auto* fake = reinterpret_cast<rdma::QueuePair*>(0x1234);
+  const auto token = rv.publish(*fake);
+  EXPECT_EQ(&rv.resolve(token), fake);
+  EXPECT_THROW(rv.resolve(token + 999), NotFound);
+}
+
+// --- allocator ---------------------------------------------------------------
+
+struct AllocFixture {
+  pmem::PmemDevice device{"pmem", 64_MiB, 0x1000};
+  PmemAllocator::Config config{.table_offset = 4_KiB,
+                               .table_capacity = 512,
+                               .data_offset = 1_MiB,
+                               .data_end = 64_MiB};
+  PmemAllocator alloc{device, config};
+};
+
+TEST(AllocatorTest, BumpAllocationIsDisjoint) {
+  AllocFixture f;
+  const auto a = f.alloc.alloc(1000);
+  const auto b = f.alloc.alloc(1000);
+  EXPECT_GE(a, 1_MiB);
+  EXPECT_GE(b, a + 1000);
+  EXPECT_EQ(f.alloc.live_bytes(), 2 * 1024u);  // 256-aligned
+}
+
+TEST(AllocatorTest, FreeAndReuse) {
+  AllocFixture f;
+  const auto a = f.alloc.alloc(10_KiB);
+  f.alloc.free(a);
+  EXPECT_EQ(f.alloc.live_bytes(), 0u);
+  EXPECT_EQ(f.alloc.free_listed_bytes(), 10_KiB);
+  const auto b = f.alloc.alloc(8_KiB);  // first-fit reuse of the freed extent
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(f.alloc.free_listed_bytes(), 0u);
+}
+
+TEST(AllocatorTest, DoubleFreeAndUnknownFreeThrow) {
+  AllocFixture f;
+  const auto a = f.alloc.alloc(1_KiB);
+  f.alloc.free(a);
+  EXPECT_THROW(f.alloc.free(a), InvalidArgument);
+  EXPECT_THROW(f.alloc.free(0xDEAD), InvalidArgument);
+}
+
+TEST(AllocatorTest, ExhaustionThrows) {
+  AllocFixture f;
+  EXPECT_THROW(f.alloc.alloc(128_MiB), ResourceExhausted);
+  // After the failed attempt the heap is still usable.
+  EXPECT_NO_THROW(f.alloc.alloc(1_MiB));
+}
+
+TEST(AllocatorTest, RecoveryRebuildsState) {
+  AllocFixture f;
+  const auto a = f.alloc.alloc(10_KiB);
+  const auto b = f.alloc.alloc(20_KiB);
+  f.alloc.free(a);
+  f.device.persist_all();
+
+  PmemAllocator recovered{f.device, f.config};
+  recovered.recover();
+  EXPECT_EQ(recovered.live_bytes(), (20_KiB / 256 + (20_KiB % 256 ? 1 : 0)) * 256);
+  EXPECT_EQ(recovered.free_listed_bytes(), 10_KiB);
+  EXPECT_GE(recovered.bump(), b + 20_KiB);
+  // The freed extent is reusable after recovery.
+  EXPECT_EQ(recovered.alloc(10_KiB), a);
+}
+
+TEST(AllocatorTest, CompactReclaimsTrailingFreeExtents) {
+  AllocFixture f;
+  const auto a = f.alloc.alloc(1_MiB);
+  const auto b = f.alloc.alloc(2_MiB);
+  (void)a;
+  const auto bump_before = f.alloc.bump();
+  f.alloc.free(b);
+  EXPECT_EQ(f.alloc.compact(), 2_MiB);
+  EXPECT_EQ(f.alloc.bump(), bump_before - 2_MiB);
+  EXPECT_EQ(f.alloc.free_listed_bytes(), 0u);
+}
+
+TEST(AllocatorTest, ConcurrentAllocationNeverDoubleAllocates) {
+  // Real-thread stress on the lock-free CAS path (outside the DES).
+  AllocFixture f;
+  constexpr int kThreads = 8;
+  constexpr int kAllocsPerThread = 50;
+  std::vector<std::vector<Bytes>> results(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&f, &results, t] {
+        for (int i = 0; i < kAllocsPerThread; ++i) {
+          results[static_cast<std::size_t>(t)].push_back(f.alloc.alloc(4096));
+        }
+      });
+    }
+  }
+  std::vector<Bytes> all;
+  for (const auto& r : results) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "two threads received the same extent";
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kAllocsPerThread));
+}
+
+// --- ModelTable --------------------------------------------------------------
+
+TEST(ModelTableTest, InsertLookupRemove) {
+  pmem::PmemDevice device{"pmem", 16_MiB, 0x1000};
+  ModelTable table{device, 4_KiB, 16};
+  table.insert("resnet50", 0x100000);
+  table.insert("bert", 0x200000);
+  EXPECT_EQ(table.lookup("resnet50"), 0x100000u);
+  EXPECT_EQ(table.lookup("bert"), 0x200000u);
+  EXPECT_EQ(table.lookup("nope"), std::nullopt);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.names(), (std::vector<std::string>{"bert", "resnet50"}))
+      << "ModelMap iterates in sorted (RB-tree) order";
+  table.remove("bert");
+  EXPECT_EQ(table.lookup("bert"), std::nullopt);
+  EXPECT_THROW(table.remove("bert"), NotFound);
+}
+
+TEST(ModelTableTest, OverwriteUpdatesOffset) {
+  pmem::PmemDevice device{"pmem", 16_MiB, 0x1000};
+  ModelTable table{device, 4_KiB, 16};
+  table.insert("m", 0x100);
+  table.insert("m", 0x200);
+  EXPECT_EQ(table.lookup("m"), 0x200u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ModelTableTest, CapacityExhaustion) {
+  pmem::PmemDevice device{"pmem", 16_MiB, 0x1000};
+  ModelTable table{device, 4_KiB, 2};
+  table.insert("a", 1);
+  table.insert("b", 2);
+  EXPECT_THROW(table.insert("c", 3), ResourceExhausted);
+}
+
+TEST(ModelTableTest, RecoverySurvivesCrash) {
+  pmem::PmemDevice device{"pmem", 16_MiB, 0x1000};
+  {
+    ModelTable table{device, 4_KiB, 16};
+    table.insert("resnet50", 0x100000);
+    table.insert("gpt", 0x300000);
+    table.remove("gpt");
+    table.insert("bert", 0x200000);
+  }
+  device.simulate_crash();  // all table writes were persisted by insert()
+
+  ModelTable recovered{device, 4_KiB, 16};
+  recovered.recover();
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered.lookup("resnet50"), 0x100000u);
+  EXPECT_EQ(recovered.lookup("bert"), 0x200000u);
+  EXPECT_EQ(recovered.lookup("gpt"), std::nullopt);
+}
+
+TEST(ModelTableTest, NameLengthValidation) {
+  pmem::PmemDevice device{"pmem", 16_MiB, 0x1000};
+  ModelTable table{device, 4_KiB, 16};
+  EXPECT_THROW(table.insert("", 1), InvalidArgument);
+  EXPECT_THROW(table.insert(std::string(48, 'x'), 1), InvalidArgument);
+  EXPECT_NO_THROW(table.insert(std::string(47, 'x'), 1));
+}
+
+// --- MIndex + CheckpointTxn ----------------------------------------------------
+
+struct IndexFixture {
+  pmem::PmemDevice device{"pmem", 256_MiB, 0x1000};
+  PmemAllocator alloc{device, PmemAllocator::Config{.table_offset = 4_KiB,
+                                                    .table_capacity = 512,
+                                                    .data_offset = 1_MiB,
+                                                    .data_end = 256_MiB}};
+  RegisterModelMsg reg = [] {
+    RegisterModelMsg m;
+    m.model_name = "bert";
+    for (int i = 0; i < 4; ++i) {
+      m.tensors.push_back(TensorDesc{
+          .name = "t" + std::to_string(i),
+          .dtype = dnn::DType::kF32,
+          .shape = {100, 100},
+          .size = 40'000,
+      });
+    }
+    return m;
+  }();
+};
+
+TEST(MIndexTest, CreateLaysOutTensorsContiguously) {
+  IndexFixture f;
+  const auto idx = MIndex::create(f.device, f.alloc, f.reg);
+  EXPECT_EQ(idx.model_name(), "bert");
+  ASSERT_EQ(idx.tensors().size(), 4u);
+  Bytes expected_offset = 0;
+  for (const auto& t : idx.tensors()) {
+    EXPECT_EQ(t.offset_in_slot, expected_offset);
+    expected_offset += (t.size + 255) & ~Bytes{255};
+  }
+  EXPECT_EQ(idx.slot_size(), expected_offset);
+  EXPECT_NE(idx.slot(0).data_offset, idx.slot(1).data_offset);
+  EXPECT_EQ(idx.slot(0).state, SlotState::kEmpty);
+}
+
+TEST(MIndexTest, LoadRoundTripsMetadata) {
+  IndexFixture f;
+  const auto created = MIndex::create(f.device, f.alloc, f.reg);
+  const auto loaded = MIndex::load(f.device, created.record_offset());
+  EXPECT_EQ(loaded.model_name(), "bert");
+  EXPECT_EQ(loaded.slot_size(), created.slot_size());
+  ASSERT_EQ(loaded.tensors().size(), 4u);
+  EXPECT_EQ(loaded.tensors()[2].name, "t2");
+  EXPECT_EQ(loaded.tensors()[2].shape, (std::vector<std::int64_t>{100, 100}));
+  EXPECT_EQ(loaded.slot(0).data_offset, created.slot(0).data_offset);
+}
+
+TEST(MIndexTest, LoadRejectsGarbage) {
+  IndexFixture f;
+  EXPECT_THROW(MIndex::load(f.device, 2_MiB), Corruption);
+}
+
+TEST(CheckpointTxnTest, FirstCheckpointUsesSlot0) {
+  IndexFixture f;
+  auto idx = MIndex::create(f.device, f.alloc, f.reg);
+  auto txn = CheckpointTxn::begin(idx);
+  EXPECT_EQ(txn.slot(), 0);
+  EXPECT_EQ(idx.slot(0).state, SlotState::kActive);
+  EXPECT_EQ(txn.epoch(), 1u);
+  txn.commit();
+  EXPECT_EQ(idx.slot(0).state, SlotState::kDone);
+  EXPECT_EQ(idx.latest_done_slot(), 0);
+}
+
+TEST(CheckpointTxnTest, AlternatesSlotsAndKeepsOneValidVersion) {
+  IndexFixture f;
+  auto idx = MIndex::create(f.device, f.alloc, f.reg);
+  for (int i = 0; i < 6; ++i) {
+    auto txn = CheckpointTxn::begin(idx);
+    EXPECT_EQ(txn.slot(), i % 2);
+    if (i > 0) {
+      // While writing slot A, slot B must hold the previous DONE version.
+      EXPECT_EQ(idx.slot(1 - txn.slot()).state, SlotState::kDone);
+    }
+    txn.commit();
+    EXPECT_EQ(idx.latest_done_slot(), i % 2);
+    EXPECT_EQ(idx.max_epoch(), static_cast<std::uint64_t>(i + 1));
+  }
+}
+
+TEST(CheckpointTxnTest, AbortLeavesSlotActiveAndInvalid) {
+  IndexFixture f;
+  auto idx = MIndex::create(f.device, f.alloc, f.reg);
+  {
+    auto txn = CheckpointTxn::begin(idx);
+    // destructor = crash semantics: no rollback write
+  }
+  EXPECT_EQ(idx.slot(0).state, SlotState::kActive);
+  EXPECT_EQ(idx.latest_done_slot(), std::nullopt) << "ACTIVE must never be restorable";
+  // The next checkpoint reuses the same (invalid) slot.
+  auto txn2 = CheckpointTxn::begin(idx);
+  EXPECT_EQ(txn2.slot(), 0);
+  txn2.commit();
+  EXPECT_EQ(idx.latest_done_slot(), 0);
+}
+
+TEST(CheckpointTxnTest, CrashDuringWriteLeavesPreviousVersionValid) {
+  IndexFixture f;
+  auto idx = MIndex::create(f.device, f.alloc, f.reg);
+
+  // First complete checkpoint into slot 0.
+  {
+    auto txn = CheckpointTxn::begin(idx);
+    f.device.fill(txn.data_offset(), idx.slot_size(), std::byte{0xAA});
+    f.device.persist(txn.data_offset(), idx.slot_size());
+    txn.commit();
+  }
+  // Second checkpoint crashes mid-transfer: ACTIVE persisted, data partial.
+  {
+    auto txn = CheckpointTxn::begin(idx);
+    f.device.fill(txn.data_offset(), idx.slot_size() / 2, std::byte{0xBB});
+    // no commit — power failure
+  }
+  f.device.simulate_crash();
+
+  const auto recovered = MIndex::load(f.device, idx.record_offset());
+  ASSERT_EQ(recovered.latest_done_slot(), 0);
+  EXPECT_EQ(recovered.slot(1).state, SlotState::kActive);
+  // Slot 0's data survived untouched.
+  const auto data = f.device.read(recovered.slot(0).data_offset, recovered.slot_size());
+  for (auto b : data) EXPECT_EQ(b, std::byte{0xAA});
+}
+
+TEST(MIndexTest, DestroyReleasesAllExtents) {
+  IndexFixture f;
+  auto idx = MIndex::create(f.device, f.alloc, f.reg);
+  EXPECT_GT(f.alloc.live_bytes(), 0u);
+  idx.destroy(f.alloc);
+  EXPECT_EQ(f.alloc.live_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace portus::core

@@ -1,0 +1,187 @@
+// Incremental checkpointing extension: only dirty tensors cross the wire;
+// clean ones are copied PMEM-locally from the previous DONE version.
+#include <gtest/gtest.h>
+
+#include "core/async_coordinator.h"
+#include "core/client.h"
+#include "core/daemon/daemon.h"
+#include "dnn/model_zoo.h"
+#include "net/cluster.h"
+
+namespace portus::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Rig {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster = net::Cluster::paper_testbed(eng);
+  QpRendezvous rendezvous;
+  std::unique_ptr<PortusDaemon> daemon = std::make_unique<PortusDaemon>(
+      *cluster, cluster->node("server"), rendezvous);
+  Rig() { daemon->start(); }
+  ~Rig() { eng.shutdown(); }
+};
+
+// Overwrite one tensor's contents with a recognizable pattern.
+void paint_tensor(dnn::Model& m, std::size_t i, std::byte value) {
+  auto& buf = m.tensor(i).buffer();
+  buf.segment().fill(buf.offset(), buf.size(), value);
+}
+
+TEST(IncrementalTest, DirtyTensorsPulledCleanOnesCopied) {
+  Rig r;
+  auto& gpu = r.cluster->node("client-volta").gpu(0);
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(gpu, "resnet50", opt);
+  PortusClient client{*r.cluster, r.cluster->node("client-volta"), gpu, r.rendezvous};
+
+  bool ok = false;
+  r.eng.spawn([](Rig& rig, PortusClient& c, dnn::Model& m, bool& done) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    co_await c.checkpoint(m, 1);  // full epoch 1
+
+    // Training touches tensors 0 and 3 only.
+    paint_tensor(m, 0, std::byte{0xA0});
+    paint_tensor(m, 3, std::byte{0xA3});
+    const auto crc_epoch2 = m.weights_crc();
+
+    std::vector<std::uint32_t> dirty{0, 3};  // named: GCC12 co_await+init-list bug
+    co_await c.checkpoint_incremental(m, 2, std::move(dirty));
+
+    // Wreck the GPU state entirely, restore epoch 2, compare.
+    m.mutate_weights(999);
+    const auto epoch = co_await c.restore(m);
+    EXPECT_EQ(epoch, 2u);
+    EXPECT_EQ(m.weights_crc(), crc_epoch2)
+        << "dirty tensors from the wire + clean tensors from the PMEM copy "
+           "must reassemble the exact epoch-2 state";
+    done = true;
+    (void)rig;
+  }(r, client, model, ok));
+  r.eng.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(r.eng.failed_process_count(), 0);
+}
+
+TEST(IncrementalTest, UndeclaredMutationIsNotCaptured) {
+  // Semantics check: a tensor mutated but NOT declared dirty restores to its
+  // previous-version contents — the dirty set is the caller's contract.
+  Rig r;
+  auto& gpu = r.cluster->node("client-volta").gpu(0);
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(gpu, "alexnet", opt);
+  PortusClient client{*r.cluster, r.cluster->node("client-volta"), gpu, r.rendezvous};
+
+  bool ok = false;
+  r.eng.spawn([](PortusClient& c, dnn::Model& m, bool& done) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    co_await c.checkpoint(m, 1);
+    const auto epoch1_t2 = m.tensor(2).buffer().crc();
+
+    paint_tensor(m, 1, std::byte{0xB1});
+    paint_tensor(m, 2, std::byte{0xB2});       // mutated...
+    const auto painted_t1 = m.tensor(1).buffer().crc();
+    std::vector<std::uint32_t> dirty{1};  // ...but only 1 declared
+    co_await c.checkpoint_incremental(m, 2, std::move(dirty));
+
+    m.mutate_weights(123);
+    co_await c.restore(m);
+    EXPECT_EQ(m.tensor(1).buffer().crc(), painted_t1)
+        << "declared tensor restores to its painted (pulled) contents";
+    EXPECT_EQ(m.tensor(2).buffer().crc(), epoch1_t2)
+        << "undeclared tensor restores to the epoch-1 copy";
+    done = true;
+  }(client, model, ok));
+  r.eng.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(IncrementalTest, FirstCheckpointFallsBackToFullPull) {
+  Rig r;
+  auto& gpu = r.cluster->node("client-volta").gpu(0);
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(gpu, "alexnet", opt);
+  PortusClient client{*r.cluster, r.cluster->node("client-volta"), gpu, r.rendezvous};
+  const auto crc0 = model.weights_crc();
+
+  bool ok = false;
+  r.eng.spawn([](PortusClient& c, dnn::Model& m, std::uint32_t crc, bool& done) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    // No previous version: the dirty set cannot be honored; everything is
+    // pulled so the checkpoint is still complete.
+    std::vector<std::uint32_t> dirty{0};
+    co_await c.checkpoint_incremental(m, 1, std::move(dirty));
+    m.mutate_weights(5);
+    co_await c.restore(m);
+    EXPECT_EQ(m.weights_crc(), crc);
+    done = true;
+  }(client, model, crc0, ok));
+  r.eng.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(IncrementalTest, OutOfRangeDirtyIndexFailsCleanly) {
+  Rig r;
+  auto& gpu = r.cluster->node("client-volta").gpu(0);
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(gpu, "alexnet", opt);
+  PortusClient client{*r.cluster, r.cluster->node("client-volta"), gpu, r.rendezvous};
+
+  bool threw = false;
+  r.eng.spawn([](PortusClient& c, dnn::Model& m, bool& t) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    co_await c.checkpoint(m, 1);
+    try {
+      std::vector<std::uint32_t> dirty{9999};
+      co_await c.checkpoint_incremental(m, 2, std::move(dirty));
+    } catch (const Error&) {
+      t = true;
+    }
+  }(client, model, threw));
+  r.eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(r.daemon->stats().failed_ops, 1u);
+
+  // The failed transaction must not have destroyed the previous version.
+  auto index = r.daemon->load_index("alexnet");
+  ASSERT_TRUE(index.latest_done_slot().has_value());
+  EXPECT_EQ(index.slot(*index.latest_done_slot()).epoch, 1u);
+}
+
+TEST(IncrementalTest, IncrementalIsFasterForSmallDirtySets) {
+  Rig r;
+  auto& gpu = r.cluster->node("client-volta").gpu(0);
+  dnn::ModelZoo::Options opt;
+  opt.force_phantom = true;
+  auto model = dnn::ModelZoo::create(gpu, "bert", opt);
+  PortusClient client{*r.cluster, r.cluster->node("client-volta"), gpu, r.rendezvous};
+
+  Duration full{}, incremental{};
+  r.eng.spawn([](sim::Engine& eng, PortusClient& c, dnn::Model& m, Duration& f,
+                 Duration& inc) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    Time t0 = eng.now();
+    co_await c.checkpoint(m, 1);
+    f = eng.now() - t0;
+    t0 = eng.now();
+    std::vector<std::uint32_t> dirty{0, 1, 2};
+    co_await c.checkpoint_incremental(m, 2, std::move(dirty));
+    inc = eng.now() - t0;
+  }(r.eng, client, model, full, incremental));
+  r.eng.run();
+  EXPECT_LT(to_seconds(incremental), to_seconds(full) * 0.85)
+      << "PMEM-local copies must beat the BAR-limited wire pull";
+}
+
+}  // namespace
+}  // namespace portus::core

@@ -1,0 +1,178 @@
+// Model-based property test: drive the full client/daemon stack with a
+// random operation sequence — mutate, checkpoint (full or incremental),
+// restore, power-fail + daemon restart, repack — while a reference model
+// tracks what MUST be true:
+//
+//   * after any completed checkpoint, the newest DONE version's epoch and
+//     contents match the weights at trigger time;
+//   * a crash never loses the newest *committed* version (torn ACTIVE slots
+//     are invisible);
+//   * restore always reproduces the newest committed contents bit-exactly;
+//   * repack never removes the newest committed version.
+//
+// Each seed is an independent trajectory; parameterized across seeds.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/client.h"
+#include "core/daemon/daemon.h"
+#include "core/daemon/repacker.h"
+#include "dnn/model_zoo.h"
+#include "net/cluster.h"
+
+namespace portus::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Reference {
+  std::uint64_t committed_epoch = 0;
+  std::uint32_t committed_crc = 0;  // weights_crc at the last committed ckpt
+};
+
+class ModelBasedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelBasedTest, InvariantsHoldUnderRandomOperations) {
+  Rng rng{GetParam()};
+  sim::Engine eng;
+  auto cluster = net::Cluster::paper_testbed(eng);
+  QpRendezvous rendezvous;
+  int daemon_generation = 0;
+  auto daemon = std::make_unique<PortusDaemon>(*cluster, cluster->node("server"), rendezvous);
+  daemon->start();
+
+  auto& node = cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.01;
+  auto model = dnn::ModelZoo::create(node.gpu(0), "resnet50", opt);
+  auto client = std::make_unique<PortusClient>(*cluster, node, node.gpu(0), rendezvous);
+
+  Reference ref;
+  std::uint64_t iteration = 0;
+
+  // Run one coroutine op to completion.
+  const auto run_op = [&](sim::Process p) {
+    auto proc = eng.spawn(std::move(p));
+    eng.run();
+    proc.check();
+  };
+
+  run_op([](PortusClient& c, dnn::Model& m) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+  }(*client, model));
+
+  for (int step = 0; step < 40; ++step) {
+    const auto op = rng.uniform(0, 5);
+    switch (op) {
+      case 0: {  // training progress
+        model.mutate_weights(++iteration);
+        break;
+      }
+      case 1: {  // full checkpoint
+        const auto crc = model.weights_crc();
+        run_op([](PortusClient& c, dnn::Model& m, std::uint64_t it) -> sim::Process {
+          co_await c.checkpoint(m, it);
+        }(*client, model, iteration));
+        ref.committed_epoch += 1;
+        ref.committed_crc = crc;
+        break;
+      }
+      case 2: {  // incremental checkpoint over a random dirty set
+        // Incremental semantics require the GPU's clean tensors to equal the
+        // previous committed version. Resync first (as a real embedding
+        // workload would be, since it only ever touches its dirty rows).
+        if (ref.committed_epoch > 0) {
+          run_op([](PortusClient& c, dnn::Model& m) -> sim::Process {
+            co_await c.restore(m);
+          }(*client, model));
+        }
+        std::vector<std::uint32_t> dirty;
+        for (std::uint32_t i = 0; i < model.layer_count(); ++i) {
+          if (rng.bernoulli(0.3)) dirty.push_back(i);
+        }
+        if (dirty.empty()) dirty.push_back(0);
+        for (const auto i : dirty) {
+          auto& buf = model.tensor(i).buffer();
+          std::vector<std::byte> patch(std::min<Bytes>(buf.size(), 128));
+          rng.fill(patch);
+          buf.segment().write(buf.offset(), patch);
+        }
+        const auto crc = model.weights_crc();
+        run_op([](PortusClient& c, dnn::Model& m, std::uint64_t it,
+                  std::vector<std::uint32_t> d) -> sim::Process {
+          co_await c.checkpoint_incremental(m, it, std::move(d));
+        }(*client, model, iteration, std::move(dirty)));
+        ref.committed_epoch += 1;
+        ref.committed_crc = crc;
+        break;
+      }
+      case 3: {  // restore and verify against the reference
+        if (ref.committed_epoch == 0) break;
+        model.mutate_weights(0xDEAD + static_cast<std::uint64_t>(step));
+        std::uint64_t epoch = 0;
+        run_op([](PortusClient& c, dnn::Model& m, std::uint64_t& e) -> sim::Process {
+          e = co_await c.restore(m);
+        }(*client, model, epoch));
+        EXPECT_EQ(epoch, ref.committed_epoch) << "seed " << GetParam() << " step " << step;
+        EXPECT_EQ(model.weights_crc(), ref.committed_crc)
+            << "seed " << GetParam() << " step " << step;
+        break;
+      }
+      case 4: {  // power failure + daemon restart + client re-registration
+        eng.shutdown();
+        daemon->device().simulate_crash();
+        ++daemon_generation;
+        const std::string endpoint = "portusd-g" + std::to_string(daemon_generation);
+        daemon = std::make_unique<PortusDaemon>(*cluster, cluster->node("server"), rendezvous,
+                                                PortusDaemon::Config{.endpoint = endpoint});
+        daemon->recover();
+        daemon->start();
+        client = std::make_unique<PortusClient>(*cluster, node, node.gpu(0), rendezvous,
+                                                endpoint);
+        run_op([](PortusClient& c, dnn::Model& m) -> sim::Process {
+          co_await c.connect();
+          co_await c.register_model(m);
+        }(*client, model));
+        // Invariant: the committed version survived intact.
+        if (ref.committed_epoch > 0) {
+          auto index = daemon->load_index("resnet50");
+          const auto latest = index.latest_done_slot();
+          ASSERT_TRUE(latest.has_value()) << "seed " << GetParam() << " step " << step;
+          EXPECT_EQ(index.slot(*latest).epoch, ref.committed_epoch);
+        }
+        break;
+      }
+      case 5: {  // repack (daemon quiescent between ops)
+        Repacker{*daemon}.repack();
+        if (ref.committed_epoch > 0) {
+          auto index = daemon->load_index("resnet50");
+          ASSERT_TRUE(index.latest_done_slot().has_value())
+              << "repack must never remove the newest committed version";
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Final end-to-end verification.
+  if (ref.committed_epoch > 0) {
+    model.mutate_weights(0xFFFF);
+    std::uint64_t epoch = 0;
+    auto proc = eng.spawn([](PortusClient& c, dnn::Model& m, std::uint64_t& e) -> sim::Process {
+      e = co_await c.restore(m);
+    }(*client, model, epoch));
+    eng.run();
+    proc.check();
+    EXPECT_EQ(epoch, ref.committed_epoch);
+    EXPECT_EQ(model.weights_crc(), ref.committed_crc);
+  }
+  eng.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelBasedTest, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace portus::core

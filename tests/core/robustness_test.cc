@@ -1,0 +1,225 @@
+// Robustness and adversarial-input tests: torn persistent state, protocol
+// fuzzing, misuse of the client API, and hook cadence edge cases.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/async_coordinator.h"
+#include "core/client.h"
+#include "core/daemon/allocator.h"
+#include "core/daemon/daemon.h"
+#include "dnn/model_zoo.h"
+#include "dnn/training.h"
+#include "net/cluster.h"
+
+namespace portus::core {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- allocator under torn AllocTable entries --------------------------------
+
+TEST(RobustnessTest, AllocatorRecoverySkipsTornEntries) {
+  pmem::PmemDevice device{"pmem", 64_MiB, 0x1000};
+  const PmemAllocator::Config config{.table_offset = 4_KiB,
+                                     .table_capacity = 128,
+                                     .data_offset = 1_MiB,
+                                     .data_end = 64_MiB};
+  Bytes a = 0;
+  {
+    PmemAllocator alloc{device, config};
+    a = alloc.alloc(100_KiB);
+    alloc.alloc(200_KiB);
+    // Scramble the second entry as a torn write would leave it.
+    device.write(config.table_offset + PmemAllocator::kEntrySize, std::vector<std::byte>(8));
+    device.persist_all();
+  }
+  PmemAllocator recovered{device, config};
+  recovered.recover();
+  // Entry 0 survives; entry 1 is dropped (its extent is unreferenced, so
+  // reuse is safe). New allocations still work and never overlap entry 0.
+  EXPECT_EQ(recovered.live_bytes(), 100_KiB);
+  const auto b = recovered.alloc(50_KiB);
+  EXPECT_TRUE(b >= a + 100_KiB || b + 50_KiB <= a) << "no overlap with live data";
+}
+
+// --- protocol fuzz -----------------------------------------------------------
+
+TEST(RobustnessTest, ProtocolDecodersNeverCrashOnGarbage) {
+  Rng rng{2024};
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::byte> junk(rng.uniform(0, 300));
+    rng.fill(junk);
+    // Each decoder must either parse or throw a typed error — never UB.
+    const auto probe = [&](auto&& decode) {
+      try {
+        decode(junk);
+      } catch (const Error&) {
+        // expected for garbage
+      }
+    };
+    probe([](auto b) { return decode_register_model(b); });
+    probe([](auto b) { return decode_register_ack(b); });
+    probe([](auto b) { return decode_checkpoint_req(b); });
+    probe([](auto b) { return decode_checkpoint_done(b); });
+    probe([](auto b) { return decode_restore_req(b); });
+    probe([](auto b) { return decode_restore_done(b); });
+    probe([](auto b) { return decode_finish_job(b); });
+  }
+}
+
+TEST(RobustnessTest, TruncatedValidMessagesThrow) {
+  RegisterModelMsg msg;
+  msg.model_name = "bert";
+  msg.tensors.push_back(TensorDesc{.name = "t", .shape = {4, 4}, .size = 64});
+  const auto wire = encode(msg);
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    std::span<const std::byte> truncated{wire.data(), cut};
+    EXPECT_THROW((void)decode_register_model(truncated), Error) << "cut at " << cut;
+  }
+}
+
+// --- client misuse ------------------------------------------------------------
+
+struct Rig {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster = net::Cluster::paper_testbed(eng);
+  QpRendezvous rendezvous;
+  std::unique_ptr<PortusDaemon> daemon =
+      std::make_unique<PortusDaemon>(*cluster, cluster->node("server"), rendezvous);
+  Rig() { daemon->start(); }
+  ~Rig() { eng.shutdown(); }
+};
+
+TEST(RobustnessTest, ConcurrentOpsOnOneClientAreRejected) {
+  Rig r;
+  auto& node = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.05;
+  auto model = dnn::ModelZoo::create(node.gpu(0), "vgg19_bn", opt);
+  PortusClient client{*r.cluster, node, node.gpu(0), r.rendezvous};
+
+  bool second_rejected = false;
+  r.eng.spawn([](PortusClient& c, dnn::Model& m) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    co_await c.checkpoint(m, 1);  // long-ish op
+  }(client, model));
+  r.eng.spawn([](sim::Engine& eng, PortusClient& c, dnn::Model& m, bool& rejected)
+                  -> sim::Process {
+    co_await eng.sleep(3ms);  // while registration/checkpoint is in flight
+    try {
+      co_await c.checkpoint(m, 2);
+    } catch (const Error&) {
+      rejected = true;
+    }
+  }(r.eng, client, model, second_rejected));
+  r.eng.run();
+  EXPECT_TRUE(second_rejected)
+      << "one control-plane operation per client at a time is the contract";
+}
+
+TEST(RobustnessTest, CheckpointOfUnregisteredModelFails) {
+  Rig r;
+  auto& node = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(node.gpu(0), "alexnet", opt);
+  PortusClient client{*r.cluster, node, node.gpu(0), r.rendezvous};
+  bool threw = false;
+  r.eng.spawn([](PortusClient& c, dnn::Model& m, bool& t) -> sim::Process {
+    co_await c.connect();
+    try {
+      co_await c.checkpoint(m, 1);  // never registered
+    } catch (const Error&) {
+      t = true;
+    }
+  }(client, model, threw));
+  r.eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(r.daemon->stats().failed_ops, 1u);
+}
+
+TEST(RobustnessTest, OperationsBeforeConnectFail) {
+  Rig r;
+  auto& node = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(node.gpu(0), "alexnet", opt);
+  PortusClient client{*r.cluster, node, node.gpu(0), r.rendezvous};
+  auto p = r.eng.spawn([](PortusClient& c, dnn::Model& m) -> sim::Process {
+    co_await c.register_model(m);  // no connect()
+  }(client, model));
+  r.eng.run();
+  EXPECT_THROW(p.check(), Error);
+}
+
+// --- hook cadence -------------------------------------------------------------
+
+TEST(RobustnessTest, PortusHookHonorsInterval) {
+  Rig r;
+  auto& node = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(node.gpu(0), "alexnet", opt);
+  PortusClient client{*r.cluster, node, node.gpu(0), r.rendezvous};
+  PortusHook hook{client, model, /*interval=*/3, PortusHook::Mode::kSync};
+  dnn::TrainingStats stats;
+  const dnn::TrainingConfig cfg{.iteration_time = 10ms, .update_fraction = 0.1,
+                                .busy_fraction = 1.0, .mutate_weights = false};
+  r.eng.spawn([](Rig& rig, net::Node& n, PortusClient& c, dnn::Model& m, PortusHook& h,
+                 dnn::TrainingConfig config, dnn::TrainingStats& st) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    co_await rig.eng.spawn(dnn::train(rig.eng, n.gpu(0), &m, config, 10, h, st)).join();
+    co_await h.drain();
+  }(r, node, client, model, hook, cfg, stats));
+  r.eng.run();
+  EXPECT_EQ(hook.stats().triggered, 3u);  // iterations 3, 6, 9
+  EXPECT_EQ(hook.stats().completed, 3u);
+  EXPECT_EQ(hook.stats().last_committed_iteration, 9u);
+  EXPECT_EQ(r.daemon->stats().checkpoints, 3u);
+}
+
+TEST(RobustnessTest, HookIntervalZeroRejected) {
+  Rig r;
+  auto& node = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(node.gpu(0), "alexnet", opt);
+  PortusClient client{*r.cluster, node, node.gpu(0), r.rendezvous};
+  EXPECT_THROW((PortusHook{client, model, 0, PortusHook::Mode::kSync}), InvalidArgument);
+}
+
+// --- control-plane endpoint ----------------------------------------------------
+
+TEST(RobustnessTest, ManyClientsConnectConcurrently) {
+  Rig r;
+  auto& node = r.cluster->node("client-volta");
+  constexpr int kClients = 12;
+  std::vector<std::unique_ptr<PortusClient>> clients;
+  std::vector<dnn::Model> models;
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.01;
+  for (int i = 0; i < kClients; ++i) {
+    models.push_back(dnn::ModelZoo::create(
+        node.gpu(static_cast<std::size_t>(i) % node.gpu_count()),
+        dnn::ModelZoo::all()[static_cast<std::size_t>(i)].name, opt));
+    clients.push_back(std::make_unique<PortusClient>(
+        *r.cluster, node, node.gpu(static_cast<std::size_t>(i) % node.gpu_count()),
+        r.rendezvous));
+  }
+  for (int i = 0; i < kClients; ++i) {
+    r.eng.spawn([](PortusClient& c, dnn::Model& m) -> sim::Process {
+      co_await c.connect();
+      co_await c.register_model(m);
+      co_await c.checkpoint(m, 1);
+    }(*clients[static_cast<std::size_t>(i)], models[static_cast<std::size_t>(i)]));
+  }
+  r.eng.run();
+  EXPECT_EQ(r.daemon->stats().registrations, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(r.daemon->stats().checkpoints, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(r.eng.failed_process_count(), 0);
+}
+
+}  // namespace
+}  // namespace portus::core

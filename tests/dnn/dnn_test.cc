@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.h"
+#include "dnn/optimizer.h"
+#include "dnn/parallel.h"
+#include "dnn/training.h"
+#include "mem/address_space.h"
+
+namespace portus::dnn {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Fixture {
+  sim::Engine eng;
+  mem::AddressSpace as;
+  gpu::GpuDevice gpu{eng, as, "gpu0", gpu::GpuKind::kV100};
+};
+
+TEST(ModelZooTest, Table2SpecsMatchPaper) {
+  const auto names = ModelZoo::table2_names();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(ModelZoo::spec("resnet50").layers, 161);
+  EXPECT_EQ(ModelZoo::spec("resnet50").checkpoint_bytes, 97_MiB);
+  EXPECT_EQ(ModelZoo::spec("bert").checkpoint_bytes, 1282_MiB);
+  EXPECT_EQ(ModelZoo::spec("vgg19_bn").layers, 70);
+  EXPECT_EQ(ModelZoo::spec("vit_l_32").checkpoint_bytes, 1169_MiB);
+  EXPECT_EQ(ModelZoo::spec("gpt-22.4b").checkpoint_bytes, 89.6_GB);
+  EXPECT_THROW(ModelZoo::spec("nope"), NotFound);
+  EXPECT_TRUE(ModelZoo::has("alexnet"));
+  EXPECT_FALSE(ModelZoo::has("nope"));
+}
+
+TEST(ModelZooTest, CreatedModelMatchesSpecExactly) {
+  Fixture f;
+  auto model = ModelZoo::create(f.gpu, "resnet50");
+  EXPECT_EQ(model.layer_count(), 161u);
+  EXPECT_EQ(model.total_bytes(), 97_MiB);
+  EXPECT_FALSE(model.phantom());
+  // Every tensor is non-empty and f32-aligned.
+  for (const auto& t : model.tensors()) {
+    EXPECT_GT(t.byte_size(), 0u);
+    EXPECT_EQ(t.byte_size() % 4, 0u);
+    EXPECT_EQ(t.meta().byte_size(), t.byte_size());
+  }
+}
+
+TEST(ModelZooTest, LayoutIsDeterministic) {
+  Fixture f1, f2;
+  auto a = ModelZoo::create(f1.gpu, "swin_b");
+  auto b = ModelZoo::create(f2.gpu, "swin_b");
+  ASSERT_EQ(a.layer_count(), b.layer_count());
+  for (std::size_t i = 0; i < a.layer_count(); ++i) {
+    EXPECT_EQ(a.tensor(i).byte_size(), b.tensor(i).byte_size());
+    EXPECT_EQ(a.tensor(i).name(), b.tensor(i).name());
+  }
+  EXPECT_EQ(a.weights_crc(), b.weights_crc()) << "same seed => same weights";
+}
+
+TEST(ModelZooTest, LargeModelsArePhantom) {
+  Fixture f;
+  auto gpt = ModelZoo::create_from_spec(f.gpu, ModelZoo::spec("gpt-1.5b"));
+  EXPECT_TRUE(gpt.phantom());
+  EXPECT_EQ(f.gpu.memory().materialized_bytes(), 0u);
+  EXPECT_EQ(gpt.total_bytes(), 6_GB);
+}
+
+TEST(ModelZooTest, ScaleShrinksProportionally) {
+  Fixture f;
+  ModelZoo::Options opt;
+  opt.scale = 0.01;
+  auto model = ModelZoo::create(f.gpu, "bert", opt);
+  EXPECT_EQ(model.layer_count(), 397u);
+  EXPECT_LT(model.total_bytes(), 1282_MiB / 50);
+  EXPECT_FALSE(model.phantom());
+}
+
+TEST(ModelZooTest, ForcePhantomAndRealOptions) {
+  Fixture f;
+  ModelZoo::Options phantom_opt;
+  phantom_opt.force_phantom = true;
+  EXPECT_TRUE(ModelZoo::create(f.gpu, "alexnet", phantom_opt).phantom());
+
+  ModelZoo::Options bad;
+  bad.force_phantom = true;
+  bad.force_real = true;
+  EXPECT_THROW(ModelZoo::create(f.gpu, "alexnet", bad), InvalidArgument);
+}
+
+TEST(ModelTest, MutateWeightsChangesCrc) {
+  Fixture f;
+  ModelZoo::Options opt;
+  opt.scale = 0.05;
+  auto model = ModelZoo::create(f.gpu, "resnet50", opt);
+  const auto before = model.weights_crc();
+  model.mutate_weights(1);
+  EXPECT_NE(model.weights_crc(), before);
+}
+
+TEST(OptimizerTest, StateMultipliers) {
+  EXPECT_DOUBLE_EQ(state_multiplier(OptimizerKind::kNone), 0.0);
+  EXPECT_DOUBLE_EQ(state_multiplier(OptimizerKind::kSgdMomentum), 1.0);
+  EXPECT_DOUBLE_EQ(state_multiplier(OptimizerKind::kAdam), 2.0);
+}
+
+TEST(OptimizerTest, AttachAdamTriplesTensorCountAndBytes) {
+  Fixture f;
+  ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = ModelZoo::create(f.gpu, "resnet50", opt);
+  const auto params = model.layer_count();
+  const auto bytes = model.total_bytes();
+  attach_optimizer_state(model, OptimizerKind::kAdam);
+  EXPECT_EQ(model.layer_count(), 3 * params);
+  EXPECT_EQ(model.total_bytes(), 3 * bytes);
+  EXPECT_EQ(model.tensor(params).name(), model.tensor(0).name() + ".exp_avg");
+}
+
+// --- Megatron partitioner ----------------------------------------------------
+
+class PartitionerTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PartitionerTest, ShardsPartitionBytesAndLayers) {
+  const auto [tp, pp] = GetParam();
+  MegatronPartitioner part{tp, pp};
+  const auto& full = ModelZoo::spec("gpt-22.4b");
+  const auto shards = part.partition(full);
+
+  ASSERT_EQ(shards.size(), static_cast<std::size_t>(tp * pp));
+  Bytes total = 0;
+  int rank = 0;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.global_rank, rank++);
+    EXPECT_GT(s.spec.checkpoint_bytes, 0u);
+    total += s.spec.checkpoint_bytes;
+  }
+  EXPECT_EQ(total, full.checkpoint_bytes) << "shards must partition the model exactly";
+
+  // Layers: all TP ranks in one PP stage hold the same layer block; stages
+  // partition the layer count.
+  int layer_sum = 0;
+  for (const auto& s : shards) {
+    if (s.tp_rank == 0) layer_sum += s.spec.layers;
+  }
+  EXPECT_EQ(layer_sum, full.layers);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PartitionerTest,
+                         ::testing::Values(std::make_pair(1, 1), std::make_pair(8, 2),
+                                           std::make_pair(4, 4), std::make_pair(2, 8),
+                                           std::make_pair(16, 1), std::make_pair(3, 5)));
+
+TEST(PartitionerTest, ShardNamesEncodeGridPosition) {
+  MegatronPartitioner part{2, 2};
+  const auto shards = part.partition(ModelZoo::spec("gpt-1.5b"));
+  EXPECT_EQ(shards[0].spec.name, "gpt-1.5b/tp0-pp0");
+  EXPECT_EQ(shards[3].spec.name, "gpt-1.5b/tp1-pp1");
+}
+
+TEST(PartitionerTest, RejectsMoreStagesThanLayers) {
+  MegatronPartitioner part{1, 100};
+  ModelSpec tiny = ModelZoo::spec("alexnet");  // 16 layers
+  EXPECT_THROW(part.partition(tiny), InvalidArgument);
+}
+
+// --- training loop -----------------------------------------------------------
+
+TEST(TrainingTest, IterationTimingWithoutCheckpoints) {
+  Fixture f;
+  NoCheckpoint hook;
+  TrainingStats stats;
+  TrainingConfig cfg{.iteration_time = 100ms, .update_fraction = 0.1, .busy_fraction = 1.0};
+  f.eng.spawn(train(f.eng, f.gpu, nullptr, cfg, 10, hook, stats));
+  f.eng.run();
+  EXPECT_EQ(stats.iterations_done, 10u);
+  EXPECT_EQ(stats.wall(), 1000ms);
+  EXPECT_EQ(stats.checkpoint_stall, 0ms);
+  EXPECT_NEAR(f.gpu.utilization(stats.started, stats.finished), 1.0, 1e-9);
+}
+
+TEST(TrainingTest, BusyFractionDrivesUtilization) {
+  Fixture f;
+  NoCheckpoint hook;
+  TrainingStats stats;
+  TrainingConfig cfg{.iteration_time = 100ms, .update_fraction = 0.1, .busy_fraction = 0.8};
+  f.eng.spawn(train(f.eng, f.gpu, nullptr, cfg, 20, hook, stats));
+  f.eng.run();
+  EXPECT_NEAR(f.gpu.utilization(stats.started, stats.finished), 0.8, 0.01);
+}
+
+// A hook that stalls a fixed time at each boundary, to verify accounting.
+class StallHook final : public CheckpointHook {
+ public:
+  StallHook(sim::Engine& eng, Duration end_stall, Duration update_stall)
+      : eng_{eng}, end_stall_{end_stall}, update_stall_{update_stall} {}
+  sim::SubTask<> on_iteration_end(std::uint64_t) override { co_await eng_.sleep(end_stall_); }
+  sim::SubTask<> before_update(std::uint64_t) override { co_await eng_.sleep(update_stall_); }
+
+ private:
+  sim::Engine& eng_;
+  Duration end_stall_;
+  Duration update_stall_;
+};
+
+TEST(TrainingTest, HookStallsAreAccounted) {
+  Fixture f;
+  StallHook hook{f.eng, 5ms, 2ms};
+  TrainingStats stats;
+  TrainingConfig cfg{.iteration_time = 100ms, .update_fraction = 0.1, .busy_fraction = 1.0};
+  f.eng.spawn(train(f.eng, f.gpu, nullptr, cfg, 10, hook, stats));
+  f.eng.run();
+  EXPECT_EQ(stats.checkpoint_stall, 10 * 7ms);
+  EXPECT_EQ(stats.wall(), 10 * 107ms);
+}
+
+TEST(TrainingTest, WeightsMutatePerIteration) {
+  Fixture f;
+  ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = ModelZoo::create(f.gpu, "alexnet", opt);
+  const auto crc0 = model.weights_crc();
+  NoCheckpoint hook;
+  TrainingStats stats;
+  f.eng.spawn(train(f.eng, f.gpu, &model, TrainingConfig{.iteration_time = 10ms}, 3, hook,
+                    stats));
+  f.eng.run();
+  EXPECT_NE(model.weights_crc(), crc0);
+}
+
+TEST(TrainingTest, InvalidConfigThrows) {
+  Fixture f;
+  NoCheckpoint hook;
+  TrainingStats stats;
+  auto p = f.eng.spawn(
+      train(f.eng, f.gpu, nullptr, TrainingConfig{.iteration_time = 0ms}, 1, hook, stats));
+  f.eng.run();
+  EXPECT_THROW(p.check(), InvalidArgument);
+}
+
+TEST(ModelZooTest, ExtendedZooIsWellFormed) {
+  // Every zoo entry must instantiate with exact totals and positive specs.
+  // Fresh device per model: device *address space* is bump-allocated even
+  // for phantom payloads, and the zoo sums to hundreds of GB.
+  for (const auto& spec : ModelZoo::all()) {
+    EXPECT_GT(spec.layers, 0) << spec.name;
+    EXPECT_GT(spec.checkpoint_bytes, 0u) << spec.name;
+    EXPECT_GT(spec.iteration_time.count(), 0) << spec.name;
+    Fixture f;
+    ModelZoo::Options opt;
+    opt.force_phantom = true;
+    if (spec.checkpoint_bytes <= f.gpu.capacity()) {
+      auto model = ModelZoo::create_from_spec(f.gpu, spec, opt);
+      EXPECT_EQ(model.layer_count(), static_cast<std::size_t>(spec.layers)) << spec.name;
+      EXPECT_EQ(model.total_bytes(), spec.checkpoint_bytes) << spec.name;
+    } else {
+      // Bigger than one GPU — exactly why Megatron shards it. A TP=8 x PP=2
+      // shard must fit and partition exactly.
+      MegatronPartitioner part{8, 2};
+      const auto shards = part.partition(spec);
+      Bytes total = 0;
+      for (const auto& sh : shards) {
+        EXPECT_LE(sh.spec.checkpoint_bytes, f.gpu.capacity()) << sh.spec.name;
+        total += sh.spec.checkpoint_bytes;
+      }
+      EXPECT_EQ(total, spec.checkpoint_bytes) << spec.name;
+    }
+  }
+  EXPECT_GE(ModelZoo::all().size(), 40u);
+}
+
+TEST(DTypeTest, SizesAndNames) {
+  EXPECT_EQ(size_of(DType::kF32), 4u);
+  EXPECT_EQ(size_of(DType::kF16), 2u);
+  EXPECT_EQ(size_of(DType::kBF16), 2u);
+  EXPECT_EQ(size_of(DType::kI64), 8u);
+  EXPECT_STREQ(to_string(DType::kF32), "float32");
+  EXPECT_EQ(dtype_from_string("bfloat16"), DType::kBF16);
+  EXPECT_THROW(dtype_from_string("complex128"), InvalidArgument);
+}
+
+TEST(TensorMetaTest, ElementCountAndShapeString) {
+  TensorMeta meta{.name = "w", .dtype = DType::kF32, .shape = {512, 1024}};
+  EXPECT_EQ(meta.element_count(), 512 * 1024);
+  EXPECT_EQ(meta.byte_size(), 512u * 1024 * 4);
+  EXPECT_EQ(meta.shape_string(), "(512, 1024)");
+  TensorMeta scalar{.name = "s", .dtype = DType::kF32, .shape = {}};
+  EXPECT_EQ(scalar.element_count(), 1);
+}
+
+}  // namespace
+}  // namespace portus::dnn

@@ -1,0 +1,183 @@
+#include "gpu/gpu_device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gpu/copy_engine.h"
+#include "gpu/peer_mem.h"
+#include "mem/address_space.h"
+#include "sim/process.h"
+
+namespace portus::gpu {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Fixture {
+  sim::Engine eng;
+  mem::AddressSpace as;
+  GpuDevice gpu{eng, as, "gpu0", GpuKind::kV100};
+};
+
+TEST(GpuDeviceTest, SpecsMatchPaperHardware) {
+  const auto v100 = GpuSpec::v100();
+  EXPECT_DOUBLE_EQ(v100.bar_read_limit.gb_per_second(), 5.8);
+  EXPECT_GT(v100.peer_write_limit.gb_per_second(), v100.bar_read_limit.gb_per_second())
+      << "Fig. 10(d): BAR does not affect writes";
+  const auto a40 = GpuSpec::a40();
+  EXPECT_EQ(a40.memory, 48_GiB);
+}
+
+TEST(GpuDeviceTest, AllocationIsBumpAndBounded) {
+  Fixture f;
+  auto b1 = f.gpu.alloc(1000);
+  auto b2 = f.gpu.alloc(1000);
+  EXPECT_NE(b1.global_addr(), b2.global_addr());
+  EXPECT_GE(b2.offset(), b1.offset() + 1000);
+  EXPECT_THROW(f.gpu.alloc(33_GiB), ResourceExhausted);
+}
+
+TEST(GpuDeviceTest, UploadDownloadRoundTrip) {
+  Fixture f;
+  auto buf = f.gpu.alloc(4096);
+  std::vector<std::byte> data(4096);
+  Rng{1}.fill(data);
+  buf.upload(data);
+  EXPECT_EQ(buf.download(), data);
+  EXPECT_NE(buf.crc(), 0u);
+}
+
+TEST(GpuDeviceTest, PhantomBufferMovesNoBytes) {
+  Fixture f;
+  auto buf = f.gpu.alloc(1_GiB, /*phantom=*/true);
+  std::vector<std::byte> data(4096);
+  Rng{2}.fill(data);
+  buf.upload(data);  // ignored
+  EXPECT_EQ(f.gpu.memory().materialized_bytes(), 0u);
+  EXPECT_EQ(buf.crc(), 0u);
+}
+
+sim::Process run_dtoh(Fixture& f, DeviceBuffer buf, mem::MemorySegment& host, bool pinned,
+                      Time& done) {
+  CopyEngine ce{f.gpu};
+  co_await ce.dtoh(buf, host, 0, pinned);
+  done = f.eng.now();
+}
+
+TEST(CopyEngineTest, PageableDtohTimingAndBytes) {
+  Fixture f;
+  auto host = f.as.create_segment("host", mem::MemoryKind::kDram, 64_MiB);
+  auto buf = f.gpu.alloc(41_MB);
+  std::vector<std::byte> data(41_MB);
+  Rng{3}.fill(data);
+  buf.upload(data);
+
+  Time done{};
+  f.eng.spawn(run_dtoh(f, buf, *host, false, done));
+  f.eng.run();
+  // 41 MB at 4.1 GB/s = 10 ms (+ launch latency).
+  EXPECT_NEAR(to_seconds(done), 0.010, 0.001);
+  EXPECT_EQ(host->read(0, data.size()), data);
+}
+
+TEST(CopyEngineTest, PinnedIsFasterThanPageable) {
+  Fixture f;
+  auto host = f.as.create_segment("host", mem::MemoryKind::kDram, 64_MiB);
+  auto buf = f.gpu.alloc(40_MB);
+
+  Time pageable{}, pinned{};
+  {
+    sim::Engine eng2;  // independent timing run
+    (void)eng2;
+  }
+  f.eng.spawn(run_dtoh(f, buf, *host, false, pageable));
+  f.eng.run();
+  const Duration pageable_d = pageable - Time{0};
+
+  Fixture f2;
+  auto host2 = f2.as.create_segment("host", mem::MemoryKind::kDram, 64_MiB);
+  auto buf2 = f2.gpu.alloc(40_MB);
+  f2.eng.spawn(run_dtoh(f2, buf2, *host2, true, pinned));
+  f2.eng.run();
+  EXPECT_LT(pinned.count(), pageable_d.count() / 2);
+  (void)host2;
+}
+
+TEST(GpuDeviceTest, UtilizationTracking) {
+  Fixture f;
+  // Busy 10ms starting at t=0, then idle 10ms, then busy 10ms.
+  f.eng.schedule(0ms, [&] { f.gpu.mark_compute_busy(10ms); });
+  f.eng.schedule(20ms, [&] { f.gpu.mark_compute_busy(10ms); });
+  f.eng.run();
+  EXPECT_NEAR(f.gpu.utilization(Time{0ms}, Time{30ms}), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(f.gpu.utilization(Time{10ms}, Time{20ms}), 0.0, 1e-9);
+  EXPECT_NEAR(f.gpu.utilization(Time{5ms}, Time{15ms}), 0.5, 1e-9);
+}
+
+TEST(GpuDeviceTest, OverlappingBusyMarksMerge) {
+  Fixture f;
+  f.eng.schedule(0ms, [&] {
+    f.gpu.mark_compute_busy(10ms);
+    f.gpu.mark_compute_busy(4ms);  // nested in the first
+  });
+  f.eng.run();
+  EXPECT_NEAR(to_seconds(f.gpu.busy_within(Time{0}, Time{100ms})), 0.010, 1e-9);
+}
+
+sim::Process register_peer(Fixture& f, DeviceBuffer buf, PeerMemRegion& out) {
+  out = co_await PeerMem::register_buffer(f.gpu, buf);
+}
+
+TEST(PeerMemTest, RegistrationCarriesBarLimits) {
+  Fixture f;
+  auto buf = f.gpu.alloc(100_MiB);
+  PeerMemRegion region;
+  f.eng.spawn(register_peer(f, buf, region));
+  f.eng.run();
+  EXPECT_EQ(region.global_addr, buf.global_addr());
+  EXPECT_EQ(region.size, 100_MiB);
+  EXPECT_DOUBLE_EQ(region.read_limit.gb_per_second(), 5.8);
+  EXPECT_EQ(region.pcie, &f.gpu.pcie());
+  EXPECT_FALSE(region.phantom);
+  EXPECT_GT(f.eng.now().count(), 0) << "registration must cost time";
+}
+
+TEST(CopyEngineTest, ConcurrentCopiesShareThePcieLink) {
+  // Two simultaneous pageable DtoH copies on one GPU halve each other's
+  // rate until one finishes (the link is fair-shared, not magic).
+  Fixture f;
+  auto host = f.as.create_segment("host", mem::MemoryKind::kDram, 256_MiB);
+  auto b1 = f.gpu.alloc(41_MB);
+  auto b2 = f.gpu.alloc(41_MB);
+  Time d1{}, d2{};
+  f.eng.spawn(run_dtoh(f, b1, *host, false, d1));
+  f.eng.spawn(run_dtoh(f, b2, *host, false, d2));
+  f.eng.run();
+  // Both are capped at 4.1 GB/s per flow on a 24 GB/s link: the link is NOT
+  // the bottleneck, so they run at full per-flow speed concurrently.
+  EXPECT_NEAR(to_seconds(d1), 0.010, 0.001);
+  EXPECT_NEAR(to_seconds(d2), 0.010, 0.001);
+}
+
+TEST(CopyEngineTest, ManyConcurrentCopiesSaturateThePcieLink) {
+  Fixture f;
+  auto host = f.as.create_segment("host", mem::MemoryKind::kDram, 1_GiB);
+  std::vector<Time> done(8);
+  for (int i = 0; i < 8; ++i) {
+    auto buf = f.gpu.alloc(110_MB);
+    f.eng.spawn(run_dtoh(f, buf, *host, /*pinned=*/true, done[static_cast<std::size_t>(i)]));
+  }
+  const Time end = f.eng.run();
+  // 8 x 11 GB/s caps = 88 GB/s demand onto a 24 GB/s link: link-bound.
+  // 880 MB / 24 GB/s = ~36.7 ms.
+  EXPECT_NEAR(to_seconds(end), 0.0367, 0.002);
+}
+
+TEST(GpuDeviceTest, UtilizationOutsideTraceIsZero) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(f.gpu.utilization(Time{0}, Time{std::chrono::seconds{1}}), 0.0);
+  EXPECT_DOUBLE_EQ(f.gpu.utilization(Time{std::chrono::seconds{1}}, Time{std::chrono::seconds{1}}), 0.0);
+}
+
+}  // namespace
+}  // namespace portus::gpu

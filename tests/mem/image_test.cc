@@ -1,0 +1,111 @@
+// Segment image persistence ("PIMG"): what lets a simulated PMEM device — and
+// therefore every checkpoint on it — survive across portusctl invocations.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "mem/segment.h"
+#include "pmem/pmem_device.h"
+
+namespace portus::mem {
+namespace {
+
+TEST(ImageTest, RoundTripSparseContents) {
+  MemorySegment a{"a", MemoryKind::kPmem, 4_GiB, 0x1000};
+  Rng rng{1};
+  std::vector<std::byte> chunk1(100'000), chunk2(5000);
+  rng.fill(chunk1);
+  rng.fill(chunk2);
+  a.write(3_KiB, chunk1);
+  a.write(2_GiB, chunk2);
+
+  std::stringstream image;
+  a.save_image(image);
+
+  MemorySegment b{"b", MemoryKind::kPmem, 4_GiB, 0x2000};
+  b.load_image(image);
+  EXPECT_EQ(b.read(3_KiB, chunk1.size()), chunk1);
+  EXPECT_EQ(b.read(2_GiB, chunk2.size()), chunk2);
+  EXPECT_EQ(b.read(1_GiB, 64), std::vector<std::byte>(64));  // untouched = zeros
+  EXPECT_EQ(b.materialized_bytes(), a.materialized_bytes());
+  EXPECT_EQ(b.crc(0, 4_GiB / 1024), a.crc(0, 4_GiB / 1024));
+}
+
+TEST(ImageTest, LoadReplacesExistingContents) {
+  MemorySegment a{"a", MemoryKind::kPmem, 1_MiB, 0x1000};
+  a.fill(0, 100, std::byte{0x11});
+  std::stringstream image;
+  a.save_image(image);
+
+  MemorySegment b{"b", MemoryKind::kPmem, 1_MiB, 0x2000};
+  b.fill(512_KiB, 100, std::byte{0x22});
+  b.load_image(image);
+  EXPECT_EQ(b.read(0, 1)[0], std::byte{0x11});
+  EXPECT_EQ(b.read(512_KiB, 1)[0], std::byte{0x00}) << "stale pages must be dropped";
+}
+
+TEST(ImageTest, RejectsGarbageHeader) {
+  MemorySegment b{"b", MemoryKind::kPmem, 1_MiB, 0x1000};
+  std::stringstream junk{"this is not an image"};
+  EXPECT_THROW(b.load_image(junk), Corruption);
+}
+
+TEST(ImageTest, RejectsTruncatedImage) {
+  MemorySegment a{"a", MemoryKind::kPmem, 1_MiB, 0x1000};
+  a.fill(0, 300_KiB, std::byte{0x33});
+  std::stringstream image;
+  a.save_image(image);
+  std::string data = image.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated{data};
+
+  MemorySegment b{"b", MemoryKind::kPmem, 1_MiB, 0x2000};
+  EXPECT_THROW(b.load_image(truncated), Corruption);
+}
+
+TEST(ImageTest, RejectsImageLargerThanDevice) {
+  MemorySegment a{"a", MemoryKind::kPmem, 4_MiB, 0x1000};
+  a.fill(3_MiB, 100, std::byte{0x44});
+  std::stringstream image;
+  a.save_image(image);
+
+  MemorySegment b{"b", MemoryKind::kPmem, 1_MiB, 0x2000};
+  EXPECT_THROW(b.load_image(image), Corruption);
+}
+
+TEST(ImageTest, PmemDeviceImagePreservesCheckpointBytes) {
+  pmem::PmemDevice dev{"pmem", 64_MiB, 0x1000};
+  Rng rng{9};
+  std::vector<std::byte> payload(1_MiB);
+  rng.fill(payload);
+  dev.write(10_MiB, payload);
+  dev.persist_all();
+
+  std::stringstream image;
+  dev.save_image(image);
+
+  pmem::PmemDevice restored{"pmem2", 64_MiB, 0x2000};
+  restored.load_image(image);
+  EXPECT_EQ(restored.read(10_MiB, payload.size()), payload);
+}
+
+TEST(ImageTest, DeterministicBytes) {
+  // Identical contents must serialize identically (images are diffable).
+  const auto make = [] {
+    auto seg = std::make_unique<MemorySegment>("s", MemoryKind::kPmem, 8_MiB, 0x1000);
+    Rng rng{5};
+    std::vector<std::byte> d(700'000);
+    rng.fill(d);
+    seg->write(1_MiB, d);
+    seg->write(5_MiB, d);
+    return seg;
+  };
+  std::stringstream i1, i2;
+  make()->save_image(i1);
+  make()->save_image(i2);
+  EXPECT_EQ(i1.str(), i2.str());
+}
+
+}  // namespace
+}  // namespace portus::mem

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "net/cluster.h"
+#include "net/tcp.h"
+#include "sim/process.h"
+
+namespace portus::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(TcpTest, MessageArrivesAfterLatency) {
+  sim::Engine eng;
+  auto [a, b] = TcpSocket::make_pair(eng);
+  std::vector<std::byte> msg(100, std::byte{7});
+  Time arrived{};
+  eng.spawn([](std::shared_ptr<TcpSocket> sock, sim::Engine& e, Time& t) -> sim::Process {
+    auto m = co_await sock->recv();
+    EXPECT_EQ(m.size(), 100u);
+    t = e.now();
+  }(b, eng, arrived));
+  a->send(msg);
+  eng.run();
+  EXPECT_GE(arrived, Time{TcpSocket::kLatency});
+  EXPECT_LT(arrived, Time{TcpSocket::kLatency + 10us});
+}
+
+TEST(TcpTest, OrderedDelivery) {
+  sim::Engine eng;
+  auto [a, b] = TcpSocket::make_pair(eng);
+  std::vector<int> got;
+  eng.spawn([](std::shared_ptr<TcpSocket> sock, std::vector<int>& out) -> sim::Process {
+    try {
+      for (;;) {
+        auto m = co_await sock->recv();
+        out.push_back(static_cast<int>(m[0]));
+      }
+    } catch (const Disconnected&) {
+    }
+  }(b, got));
+  for (int i = 0; i < 5; ++i) {
+    a->send(std::vector<std::byte>{std::byte(i)});
+  }
+  eng.schedule(10ms, [&] { a->close(); });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TcpTest, SendOnClosedSocketThrows) {
+  sim::Engine eng;
+  auto [a, b] = TcpSocket::make_pair(eng);
+  a->close();
+  eng.run();
+  EXPECT_THROW(a->send({}), Disconnected);
+}
+
+TEST(TcpTest, PeerCloseWakesReceiver) {
+  sim::Engine eng;
+  auto [a, b] = TcpSocket::make_pair(eng);
+  bool disconnected = false;
+  eng.spawn([](std::shared_ptr<TcpSocket> sock, bool& d) -> sim::Process {
+    try {
+      co_await sock->recv();
+    } catch (const Disconnected&) {
+      d = true;
+    }
+  }(b, disconnected));
+  eng.schedule(1ms, [&] { a->close(); });
+  eng.run();
+  EXPECT_TRUE(disconnected);
+}
+
+TEST(TcpTest, ListenerAcceptHandshake) {
+  sim::Engine eng;
+  TcpListener listener{eng};
+  bool server_got = false;
+  bool client_got = false;
+  eng.spawn([](TcpListener& l, bool& ok) -> sim::Process {
+    auto sock = co_await l.accept();
+    auto msg = co_await sock->recv();
+    EXPECT_EQ(msg.size(), 3u);
+    sock->send(std::vector<std::byte>(5));
+    ok = true;
+  }(listener, server_got));
+  eng.spawn([](TcpListener& l, bool& ok) -> sim::Process {
+    auto sock = co_await l.connect();
+    sock->send(std::vector<std::byte>(3));
+    auto resp = co_await sock->recv();
+    EXPECT_EQ(resp.size(), 5u);
+    ok = true;
+  }(listener, client_got));
+  eng.run();
+  EXPECT_TRUE(server_got);
+  EXPECT_TRUE(client_got);
+  EXPECT_EQ(eng.failed_process_count(), 0);
+}
+
+TEST(ClusterTest, PaperTestbedLayout) {
+  sim::Engine eng;
+  auto cluster = Cluster::paper_testbed(eng);
+  ASSERT_EQ(cluster->node_count(), 3u);
+
+  auto& volta = cluster->node("client-volta");
+  EXPECT_EQ(volta.gpu_count(), 4u);
+  EXPECT_STREQ(volta.gpu(0).spec().model, "NVIDIA V100");
+  EXPECT_FALSE(volta.has_devdax());
+
+  auto& ampere = cluster->node("client-ampere");
+  EXPECT_EQ(ampere.gpu_count(), 8u);
+  EXPECT_STREQ(ampere.gpu(0).spec().model, "NVIDIA A40");
+
+  auto& server = cluster->node("server");
+  EXPECT_TRUE(server.has_fsdax());
+  EXPECT_TRUE(server.has_devdax());
+  EXPECT_EQ(server.devdax().size(), 768_GiB);
+  EXPECT_EQ(server.devdax().mode(), pmem::DaxMode::kDevDax);
+  EXPECT_EQ(server.fsdax().mode(), pmem::DaxMode::kFsDax);
+  EXPECT_EQ(server.gpu_count(), 0u);
+
+  EXPECT_THROW(cluster->node("nope"), NotFound);
+}
+
+TEST(ClusterTest, EndpointRegistry) {
+  sim::Engine eng;
+  auto cluster = Cluster::paper_testbed(eng);
+  auto& listener = cluster->listen("portusd");
+  EXPECT_EQ(&cluster->endpoint("portusd"), &listener);
+  EXPECT_THROW(cluster->listen("portusd"), InvalidArgument);
+  EXPECT_THROW(cluster->endpoint("other"), NotFound);
+}
+
+TEST(NodeTest, RegionFactories) {
+  sim::Engine eng;
+  auto cluster = Cluster::paper_testbed(eng);
+  auto& server = cluster->node("server");
+
+  const auto dram = server.dram_region(0, 1_MiB);
+  EXPECT_EQ(dram.segment, &server.dram());
+  EXPECT_EQ(dram.device_channel_read, &server.dram_channel());
+  EXPECT_THROW(server.dram_region(server.dram().size(), 1), InvalidArgument);
+
+  auto mapping = server.devdax().map(0, 4_MiB);
+  const auto pmem = server.pmem_region(mapping);
+  EXPECT_EQ(pmem.addr, server.devdax().device().base_addr());
+  EXPECT_EQ(pmem.device_channel_write, &server.devdax_write_channel());
+  EXPECT_LT(pmem.write_cap.bytes_per_second(), pmem.read_cap.bytes_per_second())
+      << "Optane writes are slower than reads";
+}
+
+}  // namespace
+}  // namespace portus::net

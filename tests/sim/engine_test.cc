@@ -1,0 +1,218 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/process.h"
+
+namespace portus::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(EngineTest, StartsAtTimeZero) {
+  Engine eng;
+  EXPECT_EQ(eng.now(), Time{0});
+}
+
+TEST(EngineTest, CallbacksFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule(30ns, [&] { order.push_back(3); });
+  eng.schedule(10ns, [&] { order.push_back(1); });
+  eng.schedule(20ns, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), Time{30ns});
+}
+
+TEST(EngineTest, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eng.schedule(10ns, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, SchedulingInPastThrows) {
+  Engine eng;
+  EXPECT_THROW(eng.schedule(Duration{-1}, [] {}), InvalidArgument);
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.schedule(10ns, [&] { ++fired; });
+  eng.schedule(20ns, [&] { ++fired; });
+  eng.schedule(30ns, [&] { ++fired; });
+  EXPECT_FALSE(eng.run_until(Time{20ns}));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), Time{20ns});
+  EXPECT_TRUE(eng.run_until(Time{100ns}));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EngineTest, NestedSchedulingAdvancesClock) {
+  Engine eng;
+  Time inner_fire_time{};
+  eng.schedule(5ns, [&] {
+    eng.schedule(7ns, [&] { inner_fire_time = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(inner_fire_time, Time{12ns});
+}
+
+Process sleeper(Engine& eng, Duration d, Time& woke_at) {
+  co_await eng.sleep(d);
+  woke_at = eng.now();
+}
+
+TEST(ProcessTest, SleepAdvancesVirtualTime) {
+  Engine eng;
+  Time woke{};
+  auto p = eng.spawn(sleeper(eng, 1500ns, woke));
+  eng.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(woke, Time{1500ns});
+}
+
+Process multi_sleeper(Engine& eng, std::vector<Time>& marks) {
+  marks.push_back(eng.now());
+  co_await eng.sleep(10ns);
+  marks.push_back(eng.now());
+  co_await eng.sleep(0ns);  // zero sleep must not suspend forever
+  marks.push_back(eng.now());
+  co_await eng.sleep(5ns);
+  marks.push_back(eng.now());
+}
+
+TEST(ProcessTest, SequentialSleepsAccumulate) {
+  Engine eng;
+  std::vector<Time> marks;
+  eng.spawn(multi_sleeper(eng, marks));
+  eng.run();
+  ASSERT_EQ(marks.size(), 4u);
+  EXPECT_EQ(marks[0], Time{0ns});
+  EXPECT_EQ(marks[1], Time{10ns});
+  EXPECT_EQ(marks[2], Time{10ns});
+  EXPECT_EQ(marks[3], Time{15ns});
+}
+
+Process parent(Engine& eng, bool& child_done_first) {
+  Time child_end{};
+  auto child = eng.spawn(sleeper(eng, 100ns, child_end));
+  co_await child.join();
+  child_done_first = (child_end == Time{100ns}) && eng.now() >= Time{100ns};
+}
+
+TEST(ProcessTest, JoinWaitsForChild) {
+  Engine eng;
+  bool ok = false;
+  eng.spawn(parent(eng, ok));
+  eng.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(eng.failed_process_count(), 0);
+}
+
+Time g_ignored_time{};
+
+Process joins_completed(Engine& eng, bool& resumed) {
+  auto child = eng.spawn(sleeper(eng, 1ns, g_ignored_time));
+  co_await eng.sleep(50ns);
+  EXPECT_TRUE(child.done());
+  co_await child.join();  // join after completion must be immediate
+  resumed = true;
+}
+
+TEST(ProcessTest, JoinAfterCompletionIsImmediate) {
+  Engine eng;
+  bool resumed = false;
+  eng.spawn(joins_completed(eng, resumed));
+  eng.run();
+  EXPECT_TRUE(resumed);
+}
+
+Process thrower(Engine& eng) {
+  co_await eng.sleep(10ns);
+  throw Error("boom");
+}
+
+Process join_thrower(Engine& eng, bool& caught) {
+  auto child = eng.spawn(thrower(eng));
+  try {
+    co_await child.join();
+  } catch (const Error& e) {
+    caught = std::string_view{e.what()} == "boom";
+  }
+}
+
+TEST(ProcessTest, JoinRethrowsChildException) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn(join_thrower(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(eng.failed_process_count(), 0);  // error was observed
+}
+
+TEST(ProcessTest, UnobservedFailureIsCounted) {
+  Engine eng;
+  eng.spawn(thrower(eng));
+  eng.run();
+  EXPECT_EQ(eng.failed_process_count(), 1);
+}
+
+TEST(ProcessTest, CheckRethrowsAndMarksObserved) {
+  Engine eng;
+  auto p = eng.spawn(thrower(eng));
+  eng.run();
+  EXPECT_THROW(p.check(), Error);
+  EXPECT_EQ(eng.failed_process_count(), 0);
+}
+
+TEST(ProcessTest, UnspawnedProcessIsDestroyedCleanly) {
+  Engine eng;
+  {
+    auto p = sleeper(eng, 10ns, g_ignored_time);
+    EXPECT_TRUE(p.valid());
+    // dropped without spawn: frame must be freed without running the body
+  }
+  eng.run();
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+TEST(ProcessTest, EngineDestructionWithLiveProcessesIsClean) {
+  Time woke{};
+  {
+    Engine eng;
+    eng.spawn(sleeper(eng, 1h, woke));
+    eng.run_until(Time{100ns});
+    // Engine destroyed with the sleeper still suspended.
+  }
+  EXPECT_EQ(woke, Time{});
+}
+
+Process fan_out_root(Engine& eng, int& sum) {
+  std::vector<Process> children;
+  for (int i = 1; i <= 10; ++i) {
+    children.push_back(eng.spawn([](Engine& e, int& s, int v) -> Process {
+      co_await e.sleep(Duration{v});
+      s += v;
+    }(eng, sum, i)));
+  }
+  for (auto& c : children) co_await c.join();
+}
+
+TEST(ProcessTest, FanOutFanIn) {
+  Engine eng;
+  int sum = 0;
+  eng.spawn(fan_out_root(eng, sum));
+  eng.run();
+  EXPECT_EQ(sum, 55);
+}
+
+}  // namespace
+}  // namespace portus::sim

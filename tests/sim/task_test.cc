@@ -1,0 +1,176 @@
+#include "sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/bandwidth_channel.h"
+#include "sim/engine.h"
+#include "sim/process.h"
+#include "sim/sync.h"
+
+namespace portus::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+SubTask<int> answer(Engine& eng) {
+  co_await eng.sleep(10ns);
+  co_return 42;
+}
+
+Process await_answer(Engine& eng, int& out) { out = co_await answer(eng); }
+
+TEST(SubTaskTest, ReturnsValueAfterVirtualTime) {
+  Engine eng;
+  int got = 0;
+  eng.spawn(await_answer(eng, got));
+  eng.run();
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(eng.now(), Time{10ns});
+}
+
+SubTask<std::string> outer(Engine& eng) {
+  const int v = co_await answer(eng);
+  co_await eng.sleep(5ns);
+  co_return "v=" + std::to_string(v);
+}
+
+TEST(SubTaskTest, NestedSubTasksCompose) {
+  Engine eng;
+  std::string got;
+  eng.spawn([](Engine& e, std::string& out) -> Process { out = co_await outer(e); }(eng, got));
+  eng.run();
+  EXPECT_EQ(got, "v=42");
+  EXPECT_EQ(eng.now(), Time{15ns});
+}
+
+SubTask<> thrower(Engine& eng) {
+  co_await eng.sleep(1ns);
+  throw NotFound("gone");
+}
+
+TEST(SubTaskTest, ExceptionPropagatesToAwaiter) {
+  Engine eng;
+  bool caught = false;
+  eng.spawn([](Engine& e, bool& c) -> Process {
+    try {
+      co_await thrower(e);
+    } catch (const NotFound&) {
+      c = true;
+    }
+  }(eng, caught));
+  eng.run();
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(eng.failed_process_count(), 0);
+}
+
+SubTask<std::unique_ptr<int>> move_only(Engine& eng) {
+  co_await eng.sleep(1ns);
+  co_return std::make_unique<int>(7);
+}
+
+TEST(SubTaskTest, MoveOnlyResult) {
+  Engine eng;
+  int got = 0;
+  eng.spawn([](Engine& e, int& out) -> Process {
+    auto p = co_await move_only(e);
+    out = *p;
+  }(eng, got));
+  eng.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(SubTaskTest, UnawaitedTaskNeverRuns) {
+  Engine eng;
+  bool ran = false;
+  {
+    auto t = [](Engine& e, bool& r) -> SubTask<> {
+      r = true;
+      co_await e.sleep(1ns);
+    }(eng, ran);
+    // dropped without co_await: lazy task must not have started
+  }
+  eng.run();
+  EXPECT_FALSE(ran);
+}
+
+SubTask<int> sequential(Engine& eng, std::vector<int>& order, int id) {
+  order.push_back(id);
+  co_await eng.sleep(Duration{id});
+  order.push_back(id + 100);
+  co_return id;
+}
+
+TEST(SubTaskTest, SequentialAwaitsPreserveOrder) {
+  Engine eng;
+  std::vector<int> order;
+  int sum = 0;
+  eng.spawn([](Engine& e, std::vector<int>& o, int& s) -> Process {
+    s += co_await sequential(e, o, 1);
+    s += co_await sequential(e, o, 2);
+    s += co_await sequential(e, o, 3);
+  }(eng, order, sum));
+  eng.run();
+  EXPECT_EQ(sum, 6);
+  EXPECT_EQ(order, (std::vector<int>{1, 101, 2, 102, 3, 103}));
+}
+
+// Engine::shutdown must clear waiter registrations so primitives are safely
+// reusable after a simulated machine failure.
+TEST(ShutdownTest, PrimitivesAreReusableAfterShutdown) {
+  Engine eng;
+  SimMutex mu{eng};
+  SimSemaphore sem{eng, 0};
+  SimEvent ev{eng};
+  Channel<int> chan{eng};
+  BandwidthChannel bw{eng, Bandwidth::gb_per_sec(1.0), "link"};
+
+  // Park processes on all of them, plus a mid-flight transfer.
+  eng.spawn([](Engine& e, SimMutex& m) -> Process {
+    auto g = co_await m.lock();
+    co_await e.sleep(1h);
+  }(eng, mu));
+  eng.spawn([](SimMutex& m) -> Process { auto g = co_await m.lock(); }(mu));
+  eng.spawn([](SimSemaphore& s) -> Process { co_await s.acquire(); }(sem));
+  eng.spawn([](SimEvent& e) -> Process { co_await e.wait(); }(ev));
+  eng.spawn([](Channel<int>& c) -> Process { (void)co_await c.recv(); }(chan));
+  eng.spawn([](BandwidthChannel& b) -> Process { co_await b.transfer(10_GB); }(bw));
+  eng.run_until(Time{0} + 1ms);
+
+  eng.shutdown();
+  EXPECT_FALSE(mu.locked());
+  EXPECT_EQ(bw.active_flows(), 0);
+
+  // Everything works again.
+  bool ok = false;
+  eng.spawn([](Engine& e, SimMutex& m, SimSemaphore& s, SimEvent& ev2, Channel<int>& c,
+               BandwidthChannel& b, bool& done) -> Process {
+    {
+      auto g = co_await m.lock();
+    }
+    s.release();
+    co_await s.acquire();
+    ev2.set();
+    co_await ev2.wait();
+    c.push(1);
+    (void)co_await c.recv();
+    co_await b.transfer(1_KB);
+    done = true;
+    (void)e;
+  }(eng, mu, sem, ev, chan, bw, ok));
+  eng.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(eng.failed_process_count(), 0);
+}
+
+TEST(ShutdownTest, IdempotentAndUsableWhenEmpty) {
+  Engine eng;
+  eng.shutdown();
+  eng.shutdown();
+  bool ran = false;
+  eng.schedule(1ns, [&] { ran = true; });
+  eng.run();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace portus::sim

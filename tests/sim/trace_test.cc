@@ -1,0 +1,91 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/process.h"
+
+namespace portus::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(TracerTest, SpansRecordVirtualDurations) {
+  Engine eng;
+  Tracer tracer{eng};
+  eng.spawn([](Engine& e, Tracer& t) -> Process {
+    auto outer = t.span("checkpoint", "daemon");
+    co_await e.sleep(100us);
+    {
+      auto inner = t.span("persist", "daemon");
+      co_await e.sleep(30us);
+    }
+    co_await e.sleep(10us);
+  }(eng, tracer));
+  eng.run();
+  EXPECT_EQ(tracer.event_count(), 2u);
+
+  std::stringstream out;
+  tracer.write_chrome_json(out);
+  const auto json = out.str();
+  EXPECT_NE(json.find("\"name\":\"checkpoint\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":140.000"), std::string::npos);  // outer: 140 us
+  EXPECT_NE(json.find("\"dur\":30.000"), std::string::npos);   // inner: 30 us
+}
+
+TEST(TracerTest, InstantAndCounterEvents) {
+  Engine eng;
+  Tracer tracer{eng};
+  eng.schedule(50us, [&] {
+    tracer.instant("DO_CHECKPOINT", "client");
+    tracer.counter("gpu_util", 0.75);
+  });
+  eng.run();
+  std::stringstream out;
+  tracer.write_chrome_json(out);
+  const auto json = out.str();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":50.000"), std::string::npos);
+}
+
+TEST(TracerTest, MovedSpanClosesOnce) {
+  Engine eng;
+  Tracer tracer{eng};
+  eng.spawn([](Engine& e, Tracer& t) -> Process {
+    auto a = t.span("x", "t");
+    co_await e.sleep(1us);
+    auto b = std::move(a);
+    co_await e.sleep(1us);
+    b.end();
+    b.end();  // idempotent
+  }(eng, tracer));
+  eng.run();
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(TracerTest, TrackNamesBecomeThreadMetadata) {
+  Engine eng;
+  Tracer tracer{eng};
+  { auto s = tracer.span("a", "train"); }
+  { auto s = tracer.span("b", "portusd"); }
+  std::stringstream out;
+  tracer.write_chrome_json(out);
+  const auto json = out.str();
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("train"), std::string::npos);
+  EXPECT_NE(json.find("portusd"), std::string::npos);
+}
+
+TEST(TracerTest, EscapesJsonSpecials) {
+  Engine eng;
+  Tracer tracer{eng};
+  { auto s = tracer.span("quote\"back\\slash", "t"); }
+  std::stringstream out;
+  tracer.write_chrome_json(out);
+  EXPECT_NE(out.str().find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace portus::sim

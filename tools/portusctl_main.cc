@@ -1,0 +1,166 @@
+// portusctl: manage and share DNN checkpoints stored on (simulated) PMEM.
+//
+// The simulated devdax device is persisted as a host-side image file, so
+// successive invocations of this tool operate on the same checkpoint store —
+// the workflow of SS IV-b:
+//
+//   portusctl demo   IMAGE               seed the image with checkpointed
+//                                        models (in place of a live cluster)
+//   portusctl view   IMAGE               list models + slot states
+//   portusctl dump   IMAGE MODEL OUT     export the newest valid checkpoint
+//                                        as a portable .ptck container file
+//   portusctl repack IMAGE               reclaim invalid checkpoint versions
+#include <fstream>
+#include <iostream>
+
+#include "core/client.h"
+#include "core/daemon/daemon.h"
+#include "core/portusctl.h"
+#include "dnn/model_zoo.h"
+#include "net/cluster.h"
+
+using namespace portus;
+
+namespace {
+
+struct World {
+  sim::Engine engine;
+  std::unique_ptr<net::Cluster> cluster = net::Cluster::paper_testbed(engine);
+  core::QpRendezvous rendezvous;
+  std::unique_ptr<core::PortusDaemon> daemon;
+
+  World() {
+    daemon = std::make_unique<core::PortusDaemon>(*cluster, cluster->node("server"),
+                                                  rendezvous);
+  }
+  ~World() { engine.shutdown(); }
+
+  void load(const std::string& image) {
+    std::ifstream in{image, std::ios::binary};
+    if (!in) {
+      std::cerr << "cannot open image: " << image << "\n";
+      std::exit(2);
+    }
+    daemon->device().load_image(in);
+    daemon->recover();
+  }
+
+  void save(const std::string& image) {
+    daemon->device().persist_all();
+    std::ofstream out{image, std::ios::binary | std::ios::trunc};
+    daemon->device().save_image(out);
+  }
+};
+
+int cmd_demo(const std::string& image) {
+  World w;
+  w.daemon->start();
+  auto& node = w.cluster->node("client-volta");
+
+  const std::vector<std::pair<std::string, int>> jobs = {
+      {"resnet50", 3}, {"alexnet", 2}, {"swin_b", 1}};
+  std::vector<dnn::Model> models;
+  std::vector<std::unique_ptr<core::PortusClient>> clients;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    dnn::ModelZoo::Options opt;
+    opt.scale = 0.05;  // keep the image file small
+    models.push_back(dnn::ModelZoo::create(node.gpu(i % node.gpu_count()), jobs[i].first, opt));
+    clients.push_back(std::make_unique<core::PortusClient>(
+        *w.cluster, node, node.gpu(i % node.gpu_count()), w.rendezvous));
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    w.engine.spawn([](core::PortusClient& c, dnn::Model& m, int ckpts) -> sim::Process {
+      co_await c.connect();
+      co_await c.register_model(m);
+      for (int k = 1; k <= ckpts; ++k) {
+        m.mutate_weights(static_cast<std::uint64_t>(k));
+        co_await c.checkpoint(m, static_cast<std::uint64_t>(k));
+      }
+      if (ckpts > 1) co_await c.finish(m);  // leave one job "running"
+    }(*clients[i], models[i], jobs[i].second));
+  }
+  w.engine.run();
+  w.save(image);
+  std::cout << "seeded " << image << " with " << jobs.size() << " checkpointed models\n";
+  core::Portusctl ctl{*w.daemon};
+  std::cout << ctl.render_view();
+  return 0;
+}
+
+int cmd_view(const std::string& image) {
+  World w;
+  w.load(image);
+  core::Portusctl ctl{*w.daemon};
+  std::cout << ctl.render_view();
+  return 0;
+}
+
+int cmd_dump(const std::string& image, const std::string& model, const std::string& out_path) {
+  World w;
+  w.load(image);
+  core::Portusctl ctl{*w.daemon};
+
+  storage::CheckpointFile file;
+  bool ok = false;
+  w.engine.spawn([](core::Portusctl& c, const std::string& name, storage::CheckpointFile& f,
+                    bool& done) -> sim::Process {
+    f = co_await c.dump(name);
+    done = true;
+  }(ctl, model, file, ok));
+  w.engine.run();
+  if (!ok) {
+    std::cerr << "dump failed\n";
+    return 1;
+  }
+  const auto container = storage::CheckpointSerializer::serialize(file);
+  std::ofstream out{out_path, std::ios::binary | std::ios::trunc};
+  out.write(reinterpret_cast<const char*>(container.data()),
+            static_cast<std::streamsize>(container.size()));
+  if (!out.good()) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "dumped " << model << " (" << file.tensors.size() << " tensors, "
+            << format_bytes(container.size()) << ") -> " << out_path << "\n";
+  return 0;
+}
+
+int cmd_repack(const std::string& image) {
+  World w;
+  w.load(image);
+  core::Portusctl ctl{*w.daemon};
+  const auto report = ctl.repack();
+  std::cout << "freed " << format_bytes(report.freed_outdated) << " outdated + "
+            << format_bytes(report.freed_crashed) << " crashed; compacted "
+            << format_bytes(report.compacted) << " (" << report.slots_cleared
+            << " slots)\n";
+  w.save(image);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  portusctl demo   IMAGE\n"
+               "  portusctl view   IMAGE\n"
+               "  portusctl dump   IMAGE MODEL OUT.ptck\n"
+               "  portusctl repack IMAGE\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string image = argv[2];
+  try {
+    if (cmd == "demo") return cmd_demo(image);
+    if (cmd == "view") return cmd_view(image);
+    if (cmd == "dump" && argc == 5) return cmd_dump(image, argv[3], argv[4]);
+    if (cmd == "repack") return cmd_repack(image);
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
