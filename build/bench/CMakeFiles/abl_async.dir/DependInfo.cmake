@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_async.cc" "bench/CMakeFiles/abl_async.dir/abl_async.cc.o" "gcc" "bench/CMakeFiles/abl_async.dir/abl_async.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/portus_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

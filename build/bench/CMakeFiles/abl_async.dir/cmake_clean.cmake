@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_async.dir/abl_async.cc.o"
+  "CMakeFiles/abl_async.dir/abl_async.cc.o.d"
+  "abl_async"
+  "abl_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_double_mapping.dir/abl_double_mapping.cc.o"
+  "CMakeFiles/abl_double_mapping.dir/abl_double_mapping.cc.o.d"
+  "abl_double_mapping"
+  "abl_double_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_double_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_failures.dir/abl_failures.cc.o"
+  "CMakeFiles/abl_failures.dir/abl_failures.cc.o.d"
+  "abl_failures"
+  "abl_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

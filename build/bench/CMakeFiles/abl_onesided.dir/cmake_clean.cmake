@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_onesided.dir/abl_onesided.cc.o"
+  "CMakeFiles/abl_onesided.dir/abl_onesided.cc.o.d"
+  "abl_onesided"
+  "abl_onesided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_onesided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

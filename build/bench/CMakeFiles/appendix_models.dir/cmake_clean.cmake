@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_models.dir/appendix_models.cc.o"
+  "CMakeFiles/appendix_models.dir/appendix_models.cc.o.d"
+  "appendix_models"
+  "appendix_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

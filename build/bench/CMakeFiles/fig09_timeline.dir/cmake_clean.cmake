@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_timeline.dir/fig09_timeline.cc.o"
+  "CMakeFiles/fig09_timeline.dir/fig09_timeline.cc.o.d"
+  "fig09_timeline"
+  "fig09_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

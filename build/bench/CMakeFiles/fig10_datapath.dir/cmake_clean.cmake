@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_datapath.dir/fig10_datapath.cc.o"
+  "CMakeFiles/fig10_datapath.dir/fig10_datapath.cc.o.d"
+  "fig10_datapath"
+  "fig10_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_restore.dir/fig12_restore.cc.o"
+  "CMakeFiles/fig12_restore.dir/fig12_restore.cc.o.d"
+  "fig12_restore"
+  "fig12_restore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_gpt_dump.dir/fig14_gpt_dump.cc.o"
+  "CMakeFiles/fig14_gpt_dump.dir/fig14_gpt_dump.cc.o.d"
+  "fig14_gpt_dump"
+  "fig14_gpt_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_gpt_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

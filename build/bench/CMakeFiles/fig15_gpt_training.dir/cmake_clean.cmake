@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_gpt_training.dir/fig15_gpt_training.cc.o"
+  "CMakeFiles/fig15_gpt_training.dir/fig15_gpt_training.cc.o.d"
+  "fig15_gpt_training"
+  "fig15_gpt_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_gpt_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/portus_bench_common.dir/bench_common.cc.o.d"
+  "libportus_bench_common.a"
+  "libportus_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

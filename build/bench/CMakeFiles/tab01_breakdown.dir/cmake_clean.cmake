@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_breakdown.dir/tab01_breakdown.cc.o"
+  "CMakeFiles/tab01_breakdown.dir/tab01_breakdown.cc.o.d"
+  "tab01_breakdown"
+  "tab01_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_models.dir/tab02_models.cc.o"
+  "CMakeFiles/tab02_models.dir/tab02_models.cc.o.d"
+  "tab02_models"
+  "tab02_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

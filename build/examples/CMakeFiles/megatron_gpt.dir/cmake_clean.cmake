@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megatron_gpt.dir/megatron_gpt.cpp.o"
+  "CMakeFiles/megatron_gpt.dir/megatron_gpt.cpp.o.d"
+  "megatron_gpt"
+  "megatron_gpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megatron_gpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

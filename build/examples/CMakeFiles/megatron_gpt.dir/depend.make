@@ -1,0 +1,2 @@
+# Empty dependencies file for megatron_gpt.
+# This may be replaced when dependencies are built.

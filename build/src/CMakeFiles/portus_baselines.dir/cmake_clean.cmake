@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_baselines.dir/baselines/checkfreq.cc.o"
+  "CMakeFiles/portus_baselines.dir/baselines/checkfreq.cc.o.d"
+  "CMakeFiles/portus_baselines.dir/baselines/torch_save.cc.o"
+  "CMakeFiles/portus_baselines.dir/baselines/torch_save.cc.o.d"
+  "libportus_baselines.a"
+  "libportus_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_common.dir/common/binary_io.cc.o"
+  "CMakeFiles/portus_common.dir/common/binary_io.cc.o.d"
+  "CMakeFiles/portus_common.dir/common/crc32.cc.o"
+  "CMakeFiles/portus_common.dir/common/crc32.cc.o.d"
+  "CMakeFiles/portus_common.dir/common/hexdump.cc.o"
+  "CMakeFiles/portus_common.dir/common/hexdump.cc.o.d"
+  "CMakeFiles/portus_common.dir/common/logging.cc.o"
+  "CMakeFiles/portus_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/portus_common.dir/common/units.cc.o"
+  "CMakeFiles/portus_common.dir/common/units.cc.o.d"
+  "libportus_common.a"
+  "libportus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

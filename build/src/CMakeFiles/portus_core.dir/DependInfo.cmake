@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/async_coordinator.cc" "src/CMakeFiles/portus_core.dir/core/async_coordinator.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/async_coordinator.cc.o.d"
+  "/root/repo/src/core/client.cc" "src/CMakeFiles/portus_core.dir/core/client.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/client.cc.o.d"
+  "/root/repo/src/core/daemon/allocator.cc" "src/CMakeFiles/portus_core.dir/core/daemon/allocator.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/daemon/allocator.cc.o.d"
+  "/root/repo/src/core/daemon/daemon.cc" "src/CMakeFiles/portus_core.dir/core/daemon/daemon.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/daemon/daemon.cc.o.d"
+  "/root/repo/src/core/daemon/mindex.cc" "src/CMakeFiles/portus_core.dir/core/daemon/mindex.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/daemon/mindex.cc.o.d"
+  "/root/repo/src/core/daemon/model_table.cc" "src/CMakeFiles/portus_core.dir/core/daemon/model_table.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/daemon/model_table.cc.o.d"
+  "/root/repo/src/core/daemon/repacker.cc" "src/CMakeFiles/portus_core.dir/core/daemon/repacker.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/daemon/repacker.cc.o.d"
+  "/root/repo/src/core/daemon/slots.cc" "src/CMakeFiles/portus_core.dir/core/daemon/slots.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/daemon/slots.cc.o.d"
+  "/root/repo/src/core/portusctl.cc" "src/CMakeFiles/portus_core.dir/core/portusctl.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/portusctl.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/CMakeFiles/portus_core.dir/core/protocol.cc.o" "gcc" "src/CMakeFiles/portus_core.dir/core/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/portus_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_core.dir/core/async_coordinator.cc.o"
+  "CMakeFiles/portus_core.dir/core/async_coordinator.cc.o.d"
+  "CMakeFiles/portus_core.dir/core/client.cc.o"
+  "CMakeFiles/portus_core.dir/core/client.cc.o.d"
+  "CMakeFiles/portus_core.dir/core/daemon/allocator.cc.o"
+  "CMakeFiles/portus_core.dir/core/daemon/allocator.cc.o.d"
+  "CMakeFiles/portus_core.dir/core/daemon/daemon.cc.o"
+  "CMakeFiles/portus_core.dir/core/daemon/daemon.cc.o.d"
+  "CMakeFiles/portus_core.dir/core/daemon/mindex.cc.o"
+  "CMakeFiles/portus_core.dir/core/daemon/mindex.cc.o.d"
+  "CMakeFiles/portus_core.dir/core/daemon/model_table.cc.o"
+  "CMakeFiles/portus_core.dir/core/daemon/model_table.cc.o.d"
+  "CMakeFiles/portus_core.dir/core/daemon/repacker.cc.o"
+  "CMakeFiles/portus_core.dir/core/daemon/repacker.cc.o.d"
+  "CMakeFiles/portus_core.dir/core/daemon/slots.cc.o"
+  "CMakeFiles/portus_core.dir/core/daemon/slots.cc.o.d"
+  "CMakeFiles/portus_core.dir/core/portusctl.cc.o"
+  "CMakeFiles/portus_core.dir/core/portusctl.cc.o.d"
+  "CMakeFiles/portus_core.dir/core/protocol.cc.o"
+  "CMakeFiles/portus_core.dir/core/protocol.cc.o.d"
+  "libportus_core.a"
+  "libportus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

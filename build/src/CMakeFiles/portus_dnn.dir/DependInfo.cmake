@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/dtype.cc" "src/CMakeFiles/portus_dnn.dir/dnn/dtype.cc.o" "gcc" "src/CMakeFiles/portus_dnn.dir/dnn/dtype.cc.o.d"
+  "/root/repo/src/dnn/model.cc" "src/CMakeFiles/portus_dnn.dir/dnn/model.cc.o" "gcc" "src/CMakeFiles/portus_dnn.dir/dnn/model.cc.o.d"
+  "/root/repo/src/dnn/model_zoo.cc" "src/CMakeFiles/portus_dnn.dir/dnn/model_zoo.cc.o" "gcc" "src/CMakeFiles/portus_dnn.dir/dnn/model_zoo.cc.o.d"
+  "/root/repo/src/dnn/optimizer.cc" "src/CMakeFiles/portus_dnn.dir/dnn/optimizer.cc.o" "gcc" "src/CMakeFiles/portus_dnn.dir/dnn/optimizer.cc.o.d"
+  "/root/repo/src/dnn/parallel.cc" "src/CMakeFiles/portus_dnn.dir/dnn/parallel.cc.o" "gcc" "src/CMakeFiles/portus_dnn.dir/dnn/parallel.cc.o.d"
+  "/root/repo/src/dnn/tensor.cc" "src/CMakeFiles/portus_dnn.dir/dnn/tensor.cc.o" "gcc" "src/CMakeFiles/portus_dnn.dir/dnn/tensor.cc.o.d"
+  "/root/repo/src/dnn/training.cc" "src/CMakeFiles/portus_dnn.dir/dnn/training.cc.o" "gcc" "src/CMakeFiles/portus_dnn.dir/dnn/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/portus_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_dnn.dir/dnn/dtype.cc.o"
+  "CMakeFiles/portus_dnn.dir/dnn/dtype.cc.o.d"
+  "CMakeFiles/portus_dnn.dir/dnn/model.cc.o"
+  "CMakeFiles/portus_dnn.dir/dnn/model.cc.o.d"
+  "CMakeFiles/portus_dnn.dir/dnn/model_zoo.cc.o"
+  "CMakeFiles/portus_dnn.dir/dnn/model_zoo.cc.o.d"
+  "CMakeFiles/portus_dnn.dir/dnn/optimizer.cc.o"
+  "CMakeFiles/portus_dnn.dir/dnn/optimizer.cc.o.d"
+  "CMakeFiles/portus_dnn.dir/dnn/parallel.cc.o"
+  "CMakeFiles/portus_dnn.dir/dnn/parallel.cc.o.d"
+  "CMakeFiles/portus_dnn.dir/dnn/tensor.cc.o"
+  "CMakeFiles/portus_dnn.dir/dnn/tensor.cc.o.d"
+  "CMakeFiles/portus_dnn.dir/dnn/training.cc.o"
+  "CMakeFiles/portus_dnn.dir/dnn/training.cc.o.d"
+  "libportus_dnn.a"
+  "libportus_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/copy_engine.cc" "src/CMakeFiles/portus_gpu.dir/gpu/copy_engine.cc.o" "gcc" "src/CMakeFiles/portus_gpu.dir/gpu/copy_engine.cc.o.d"
+  "/root/repo/src/gpu/gpu_device.cc" "src/CMakeFiles/portus_gpu.dir/gpu/gpu_device.cc.o" "gcc" "src/CMakeFiles/portus_gpu.dir/gpu/gpu_device.cc.o.d"
+  "/root/repo/src/gpu/peer_mem.cc" "src/CMakeFiles/portus_gpu.dir/gpu/peer_mem.cc.o" "gcc" "src/CMakeFiles/portus_gpu.dir/gpu/peer_mem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/portus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_gpu.dir/gpu/copy_engine.cc.o"
+  "CMakeFiles/portus_gpu.dir/gpu/copy_engine.cc.o.d"
+  "CMakeFiles/portus_gpu.dir/gpu/gpu_device.cc.o"
+  "CMakeFiles/portus_gpu.dir/gpu/gpu_device.cc.o.d"
+  "CMakeFiles/portus_gpu.dir/gpu/peer_mem.cc.o"
+  "CMakeFiles/portus_gpu.dir/gpu/peer_mem.cc.o.d"
+  "libportus_gpu.a"
+  "libportus_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

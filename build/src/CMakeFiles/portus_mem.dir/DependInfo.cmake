@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/portus_mem.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/portus_mem.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/mem/segment.cc" "src/CMakeFiles/portus_mem.dir/mem/segment.cc.o" "gcc" "src/CMakeFiles/portus_mem.dir/mem/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/portus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

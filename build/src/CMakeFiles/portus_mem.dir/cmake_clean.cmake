@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_mem.dir/mem/address_space.cc.o"
+  "CMakeFiles/portus_mem.dir/mem/address_space.cc.o.d"
+  "CMakeFiles/portus_mem.dir/mem/segment.cc.o"
+  "CMakeFiles/portus_mem.dir/mem/segment.cc.o.d"
+  "libportus_mem.a"
+  "libportus_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_net.dir/net/cluster.cc.o"
+  "CMakeFiles/portus_net.dir/net/cluster.cc.o.d"
+  "CMakeFiles/portus_net.dir/net/node.cc.o"
+  "CMakeFiles/portus_net.dir/net/node.cc.o.d"
+  "CMakeFiles/portus_net.dir/net/tcp.cc.o"
+  "CMakeFiles/portus_net.dir/net/tcp.cc.o.d"
+  "libportus_net.a"
+  "libportus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmem/devdax.cc" "src/CMakeFiles/portus_pmem.dir/pmem/devdax.cc.o" "gcc" "src/CMakeFiles/portus_pmem.dir/pmem/devdax.cc.o.d"
+  "/root/repo/src/pmem/perf_model.cc" "src/CMakeFiles/portus_pmem.dir/pmem/perf_model.cc.o" "gcc" "src/CMakeFiles/portus_pmem.dir/pmem/perf_model.cc.o.d"
+  "/root/repo/src/pmem/pmem_device.cc" "src/CMakeFiles/portus_pmem.dir/pmem/pmem_device.cc.o" "gcc" "src/CMakeFiles/portus_pmem.dir/pmem/pmem_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/portus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

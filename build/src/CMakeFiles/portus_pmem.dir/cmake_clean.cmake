@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_pmem.dir/pmem/devdax.cc.o"
+  "CMakeFiles/portus_pmem.dir/pmem/devdax.cc.o.d"
+  "CMakeFiles/portus_pmem.dir/pmem/perf_model.cc.o"
+  "CMakeFiles/portus_pmem.dir/pmem/perf_model.cc.o.d"
+  "CMakeFiles/portus_pmem.dir/pmem/pmem_device.cc.o"
+  "CMakeFiles/portus_pmem.dir/pmem/pmem_device.cc.o.d"
+  "libportus_pmem.a"
+  "libportus_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/completion_queue.cc" "src/CMakeFiles/portus_rdma.dir/rdma/completion_queue.cc.o" "gcc" "src/CMakeFiles/portus_rdma.dir/rdma/completion_queue.cc.o.d"
+  "/root/repo/src/rdma/fabric.cc" "src/CMakeFiles/portus_rdma.dir/rdma/fabric.cc.o" "gcc" "src/CMakeFiles/portus_rdma.dir/rdma/fabric.cc.o.d"
+  "/root/repo/src/rdma/memory_region.cc" "src/CMakeFiles/portus_rdma.dir/rdma/memory_region.cc.o" "gcc" "src/CMakeFiles/portus_rdma.dir/rdma/memory_region.cc.o.d"
+  "/root/repo/src/rdma/queue_pair.cc" "src/CMakeFiles/portus_rdma.dir/rdma/queue_pair.cc.o" "gcc" "src/CMakeFiles/portus_rdma.dir/rdma/queue_pair.cc.o.d"
+  "/root/repo/src/rdma/rpc.cc" "src/CMakeFiles/portus_rdma.dir/rdma/rpc.cc.o" "gcc" "src/CMakeFiles/portus_rdma.dir/rdma/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/portus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_rdma.dir/rdma/completion_queue.cc.o"
+  "CMakeFiles/portus_rdma.dir/rdma/completion_queue.cc.o.d"
+  "CMakeFiles/portus_rdma.dir/rdma/fabric.cc.o"
+  "CMakeFiles/portus_rdma.dir/rdma/fabric.cc.o.d"
+  "CMakeFiles/portus_rdma.dir/rdma/memory_region.cc.o"
+  "CMakeFiles/portus_rdma.dir/rdma/memory_region.cc.o.d"
+  "CMakeFiles/portus_rdma.dir/rdma/queue_pair.cc.o"
+  "CMakeFiles/portus_rdma.dir/rdma/queue_pair.cc.o.d"
+  "CMakeFiles/portus_rdma.dir/rdma/rpc.cc.o"
+  "CMakeFiles/portus_rdma.dir/rdma/rpc.cc.o.d"
+  "libportus_rdma.a"
+  "libportus_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

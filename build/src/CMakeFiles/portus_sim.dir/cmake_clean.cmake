@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_sim.dir/sim/bandwidth_channel.cc.o"
+  "CMakeFiles/portus_sim.dir/sim/bandwidth_channel.cc.o.d"
+  "CMakeFiles/portus_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/portus_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/portus_sim.dir/sim/process.cc.o"
+  "CMakeFiles/portus_sim.dir/sim/process.cc.o.d"
+  "CMakeFiles/portus_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/portus_sim.dir/sim/trace.cc.o.d"
+  "libportus_sim.a"
+  "libportus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portus_storage.dir/storage/beegfs.cc.o"
+  "CMakeFiles/portus_storage.dir/storage/beegfs.cc.o.d"
+  "CMakeFiles/portus_storage.dir/storage/ext4_nvme.cc.o"
+  "CMakeFiles/portus_storage.dir/storage/ext4_nvme.cc.o.d"
+  "CMakeFiles/portus_storage.dir/storage/filesystem.cc.o"
+  "CMakeFiles/portus_storage.dir/storage/filesystem.cc.o.d"
+  "CMakeFiles/portus_storage.dir/storage/serializer.cc.o"
+  "CMakeFiles/portus_storage.dir/storage/serializer.cc.o.d"
+  "libportus_storage.a"
+  "libportus_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portus_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

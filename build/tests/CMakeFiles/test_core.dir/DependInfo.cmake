@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/core_integration_test.cc" "tests/CMakeFiles/test_core.dir/core/core_integration_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/core_integration_test.cc.o.d"
+  "/root/repo/tests/core/core_unit_test.cc" "tests/CMakeFiles/test_core.dir/core/core_unit_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/core_unit_test.cc.o.d"
+  "/root/repo/tests/core/distributed_test.cc" "tests/CMakeFiles/test_core.dir/core/distributed_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/distributed_test.cc.o.d"
+  "/root/repo/tests/core/incremental_test.cc" "tests/CMakeFiles/test_core.dir/core/incremental_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/incremental_test.cc.o.d"
+  "/root/repo/tests/core/lifecycle_test.cc" "tests/CMakeFiles/test_core.dir/core/lifecycle_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lifecycle_test.cc.o.d"
+  "/root/repo/tests/core/model_based_test.cc" "tests/CMakeFiles/test_core.dir/core/model_based_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/model_based_test.cc.o.d"
+  "/root/repo/tests/core/robustness_test.cc" "tests/CMakeFiles/test_core.dir/core/robustness_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/portus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_dnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/core_integration_test.cc.o"
+  "CMakeFiles/test_core.dir/core/core_integration_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/core_unit_test.cc.o"
+  "CMakeFiles/test_core.dir/core/core_unit_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/distributed_test.cc.o"
+  "CMakeFiles/test_core.dir/core/distributed_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/incremental_test.cc.o"
+  "CMakeFiles/test_core.dir/core/incremental_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/lifecycle_test.cc.o"
+  "CMakeFiles/test_core.dir/core/lifecycle_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/model_based_test.cc.o"
+  "CMakeFiles/test_core.dir/core/model_based_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/robustness_test.cc.o"
+  "CMakeFiles/test_core.dir/core/robustness_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

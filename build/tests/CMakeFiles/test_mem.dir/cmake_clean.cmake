@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/image_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/image_test.cc.o.d"
+  "CMakeFiles/test_mem.dir/mem/segment_test.cc.o"
+  "CMakeFiles/test_mem.dir/mem/segment_test.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

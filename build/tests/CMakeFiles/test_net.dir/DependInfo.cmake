@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/net_test.cc" "tests/CMakeFiles/test_net.dir/net/net_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/net_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/portus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/portus_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

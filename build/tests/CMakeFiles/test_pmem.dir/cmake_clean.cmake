@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmem.dir/pmem/pmem_device_test.cc.o"
+  "CMakeFiles/test_pmem.dir/pmem/pmem_device_test.cc.o.d"
+  "test_pmem"
+  "test_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdma.dir/rdma/rdma_test.cc.o"
+  "CMakeFiles/test_rdma.dir/rdma/rdma_test.cc.o.d"
+  "test_rdma"
+  "test_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/bandwidth_channel_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/bandwidth_channel_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/engine_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/engine_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/sync_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/sync_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/task_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/task_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/trace_test.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

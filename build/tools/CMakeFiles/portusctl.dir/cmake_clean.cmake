@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portusctl.dir/portusctl_main.cc.o"
+  "CMakeFiles/portusctl.dir/portusctl_main.cc.o.d"
+  "portusctl"
+  "portusctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portusctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

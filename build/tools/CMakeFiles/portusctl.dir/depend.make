@@ -1,0 +1,2 @@
+# Empty dependencies file for portusctl.
+# This may be replaced when dependencies are built.
