@@ -38,10 +38,12 @@ struct World {
   std::unique_ptr<storage::Ext4NvmeFs> volta_nvme;
   std::unique_ptr<storage::Ext4NvmeFs> ampere_nvme;
 
-  explicit World(int daemon_workers = 8) {
-    daemon = std::make_unique<core::PortusDaemon>(
-        *cluster, cluster->node("server"), rendezvous,
-        core::PortusDaemon::Config{.workers = daemon_workers});
+  explicit World(int daemon_workers = 8)
+      : World(core::PortusDaemon::Config{.workers = daemon_workers}) {}
+
+  explicit World(core::PortusDaemon::Config config) {
+    daemon = std::make_unique<core::PortusDaemon>(*cluster, cluster->node("server"),
+                                                  rendezvous, std::move(config));
     daemon->start();
     beegfs_server = std::make_unique<storage::BeeGfsServer>(cluster->node("server"));
     volta_nvme = std::make_unique<storage::Ext4NvmeFs>(engine, "volta/ext4-nvme");

@@ -1,0 +1,110 @@
+// Ablation — pipelined datapath sweep (fig. 11 companion).
+//
+// Sweeps the daemon's pipeline_window over {1, 2, 4, 8, 16} for a
+// ResNet-50-class job, with tensor chunking and two-QP striping enabled on
+// every pipelined row. window=1 runs the stock serial configuration and is
+// the baseline. Emits BENCH_pipeline.json and fails (exit 1) if the
+// pipelined datapath regresses the serial path or a deep window (>= 8)
+// does not reach a 2x checkpoint speedup.
+#include <cstdlib>
+#include <fstream>
+
+#include "bench_common.h"
+
+using namespace portus;
+
+namespace {
+
+struct Row {
+  int window = 1;
+  Bytes chunk = 0;
+  int stripes = 1;
+  Duration ckpt{0};
+  Duration restore{0};
+};
+
+Row measure(int window, Bytes chunk, int stripes) {
+  Row row{.window = window, .chunk = chunk, .stripes = stripes};
+  bench::World world{core::PortusDaemon::Config{
+      .pipeline_window = window, .chunk_bytes = chunk, .stripes = stripes}};
+  auto& gpu = world.volta().gpu(0);
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;  // ResNet-50-class tensor count at container-friendly size
+  auto model = dnn::ModelZoo::create(gpu, "resnet50", opt);
+  core::PortusClient client{*world.cluster, world.volta(), gpu, world.rendezvous,
+                            "portusd", stripes};
+  world.run([](sim::Engine& eng, core::PortusClient& c, dnn::Model& m,
+               Row& out) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    Time t0 = eng.now();
+    co_await c.checkpoint(m, 1);
+    out.ckpt = eng.now() - t0;
+    m.mutate_weights(7);
+    t0 = eng.now();
+    co_await c.restore(m);
+    out.restore = eng.now() - t0;
+  }(world.engine, client, model, row));
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Pipeline sweep: checkpoint/restore vs pipeline_window",
+                      "serial baseline at window=1; chunked+striped rows must not "
+                      "regress and window>=8 must reach >=2x on checkpoint");
+
+  constexpr Bytes kChunk = 8_KiB;
+  constexpr int kStripes = 2;
+  std::vector<Row> rows;
+  rows.push_back(measure(1, 0, 1));  // stock serial datapath
+  for (const int w : {2, 4, 8, 16}) rows.push_back(measure(w, kChunk, kStripes));
+  const Row& serial = rows.front();
+
+  std::cout << strf("{:>7}{:>10}{:>9}{:>14}{:>13}{:>10}\n", "window", "chunk",
+                    "stripes", "checkpoint", "restore", "speedup");
+  for (const auto& row : rows) {
+    std::cout << strf("{:>7}{:>10}{:>9}{:>14}{:>13}{:>9.2f}x\n", row.window,
+                      row.chunk == 0 ? std::string{"-"} : format_bytes(row.chunk),
+                      row.stripes, format_duration(row.ckpt),
+                      format_duration(row.restore), bench::ratio(serial.ckpt, row.ckpt));
+  }
+
+  std::ofstream json{"BENCH_pipeline.json", std::ios::trunc};
+  json << "{\n  \"bench\": \"pipeline_sweep\",\n  \"model\": \"resnet50\",\n"
+       << "  \"scale\": 0.02,\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    json << strf(
+        "    {{\"window\": {}, \"chunk_bytes\": {}, \"stripes\": {}, "
+        "\"checkpoint_ns\": {}, \"restore_ns\": {}, \"ckpt_speedup_vs_serial\": "
+        "{:.4f}}}{}\n",
+        row.window, row.chunk, row.stripes, row.ckpt.count(), row.restore.count(),
+        bench::ratio(serial.ckpt, row.ckpt), i + 1 < rows.size() ? "," : "");
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::cout << "\nwrote BENCH_pipeline.json\n";
+
+  int rc = 0;
+  for (const auto& row : rows) {
+    if (to_seconds(row.ckpt) > to_seconds(serial.ckpt) * 1.05) {
+      std::cerr << "FAIL: window=" << row.window
+                << " regresses checkpoint vs the serial baseline\n";
+      rc = 1;
+    }
+    if (to_seconds(row.restore) > to_seconds(serial.restore) * 1.05) {
+      std::cerr << "FAIL: window=" << row.window
+                << " regresses restore vs the serial baseline\n";
+      rc = 1;
+    }
+    if (row.window >= 8 && bench::ratio(serial.ckpt, row.ckpt) < 2.0) {
+      std::cerr << "FAIL: window=" << row.window
+                << " checkpoint speedup below the 2x acceptance bar\n";
+      rc = 1;
+    }
+  }
+  if (rc == 0) std::cout << "pipeline sweep acceptance checks passed\n";
+  return rc;
+}

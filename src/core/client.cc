@@ -5,12 +5,14 @@
 namespace portus::core {
 
 PortusClient::PortusClient(net::Cluster& cluster, net::Node& client_node, gpu::GpuDevice& gpu,
-                           QpRendezvous& rendezvous, std::string endpoint)
+                           QpRendezvous& rendezvous, std::string endpoint, int stripes)
     : cluster_{cluster},
       node_{client_node},
       gpu_{gpu},
       rendezvous_{rendezvous},
-      endpoint_{std::move(endpoint)} {
+      endpoint_{std::move(endpoint)},
+      stripes_{stripes} {
+  PORTUS_CHECK_ARG(stripes >= 1 && stripes <= 256, "client stripes must be in [1, 256]");
   pd_ = &client_node.nic().alloc_pd("portus-client-pd");
 }
 
@@ -22,10 +24,14 @@ sim::SubTask<> PortusClient::connect() {
 sim::SubTask<std::vector<std::byte>> PortusClient::roundtrip(std::vector<std::byte> request) {
   PORTUS_CHECK(socket_ != nullptr, "client not connected");
   PORTUS_CHECK(!op_in_flight_, "one control-plane operation at a time per client");
+  // Scope guard, not a plain reset at the end: recv() throws when the
+  // daemon side goes away, and a wedged op_in_flight_ would reject every
+  // later operation on this client.
   op_in_flight_ = true;
+  const auto clear_flag = [](bool* flag) { *flag = false; };
+  const std::unique_ptr<bool, decltype(clear_flag)> guard{&op_in_flight_, clear_flag};
   socket_->send(std::move(request));
   auto reply = co_await socket_->recv();
-  op_in_flight_ = false;
   co_return reply;
 }
 
@@ -51,14 +57,21 @@ sim::SubTask<> PortusClient::register_model(dnn::Model& model) {
     });
   }
 
+  // One CQ serves every stripe: the daemon drives all lanes wr_id-keyed,
+  // and the client side is passive (one-sided verbs target its memory).
   cq_ = std::make_unique<rdma::CompletionQueue>(cluster_.engine());
-  qp_ = &cluster_.fabric().create_qp(node_.nic(), *pd_, *cq_);
-  msg.qp_token = rendezvous_.publish(*qp_);
+  qps_.clear();
+  for (int s = 0; s < stripes_; ++s) {
+    auto& qp = cluster_.fabric().create_qp(node_.nic(), *pd_, *cq_);
+    qps_.push_back(&qp);
+    msg.qp_tokens.push_back(rendezvous_.publish(qp));
+  }
 
   auto wire = encode(msg);
   const auto reply = co_await roundtrip(std::move(wire));
   const auto ack = decode_register_ack(reply);
   PORTUS_CHECK(ack.ok, "registration rejected: " + ack.error);
+  stats_.negotiated_stripes = ack.stripes;
   stats_.registration_time = cluster_.engine().now() - t0;
   PLOG_DEBUG("portus-client", "registered {} ({} tensors, {})", model.name(),
              model.layer_count(), format_bytes(model.total_bytes()));

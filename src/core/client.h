@@ -28,10 +28,14 @@ class PortusClient {
     Duration last_checkpoint{0};
     Duration last_restore{0};
     Duration registration_time{0};
+    std::uint32_t negotiated_stripes = 0;  // accepted by the daemon
   };
 
+  // `stripes` is how many datapath QPs the client offers at registration;
+  // the daemon connects min(stripes, its own configured stripes).
   PortusClient(net::Cluster& cluster, net::Node& client_node, gpu::GpuDevice& gpu,
-               QpRendezvous& rendezvous, std::string endpoint = "portusd");
+               QpRendezvous& rendezvous, std::string endpoint = "portusd",
+               int stripes = 1);
 
   // Dial the daemon (TCP handshake). Must precede register_model().
   sim::SubTask<> connect();
@@ -70,10 +74,11 @@ class PortusClient {
   gpu::GpuDevice& gpu_;
   QpRendezvous& rendezvous_;
   std::string endpoint_;
+  int stripes_;
   std::shared_ptr<net::TcpSocket> socket_;
   rdma::ProtectionDomain* pd_ = nullptr;
   std::unique_ptr<rdma::CompletionQueue> cq_;
-  rdma::QueuePair* qp_ = nullptr;
+  std::vector<rdma::QueuePair*> qps_;  // one per offered stripe
   bool op_in_flight_ = false;
   Stats stats_;
 };

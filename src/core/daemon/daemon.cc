@@ -1,5 +1,7 @@
 #include "core/daemon/daemon.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "core/daemon/slots.h"
 
@@ -19,6 +21,9 @@ PortusDaemon::PortusDaemon(net::Cluster& cluster, net::Node& storage_node,
       pd_{storage_node.nic().alloc_pd("portusd-pd")} {
   PORTUS_CHECK_ARG(storage_node.has_devdax(),
                    "Portus daemon requires a devdax PMEM namespace");
+  PORTUS_CHECK_ARG(config_.pipeline_window >= 1, "pipeline_window must be >= 1");
+  PORTUS_CHECK_ARG(config_.stripes >= 1 && config_.stripes <= 256,
+                   "stripes must be in [1, 256]");
   model_table_ = std::make_unique<ModelTable>(device_, kModelTableOffset,
                                               config_.model_table_capacity);
   allocator_ = std::make_unique<PmemAllocator>(
@@ -42,6 +47,17 @@ void PortusDaemon::recover() {
   sessions_.clear();
   PLOG_INFO(kLog, "recovered: {} models in table, {} live bytes on heap",
             model_table_->size(), allocator_->live_bytes());
+}
+
+void PortusDaemon::absorb_pipeline_stats(const PipelinedTransfer::Stats& s) {
+  stats_.chunks_posted += s.chunks;
+  stats_.rdma_chunks += s.rdma_chunks;
+  stats_.local_chunks += s.local_chunks;
+  stats_.peak_window = std::max(stats_.peak_window, s.peak_outstanding);
+  stats_.window_chunk_seconds += s.occupancy_integral;
+  stats_.pipeline_busy_seconds += to_seconds(s.busy);
+  stats_.queue_delay_total += s.queue_delay_total;
+  stats_.queue_delay_max = std::max(stats_.queue_delay_max, s.queue_delay_max);
 }
 
 MIndex* PortusDaemon::find_live_index(const std::string& model_name) {
@@ -138,16 +154,29 @@ sim::SubTask<RegisterAckMsg> PortusDaemon::handle_register(RegisterModelMsg msg)
       auto mapping = ns.map(slot.data_offset, session.index->slot_size());
       session.slot_mr[i] = &pd_.register_region(node_.pmem_region(mapping));
     }
+    // Stripe negotiation: connect a prefix of the offered QPs, bounded by
+    // our own config. All stripes share one CQ so a single pipelined
+    // consumer can drain every lane wr_id-keyed; the per-QP processing
+    // depth matches the pipeline window so windowed posting actually
+    // overlaps in the (simulated) NIC.
+    PORTUS_CHECK(!msg.qp_tokens.empty(), "registration offers no datapath QP");
+    const auto stripes = std::min<std::size_t>(
+        static_cast<std::size_t>(config_.stripes), msg.qp_tokens.size());
     session.cq = std::make_unique<rdma::CompletionQueue>(cluster_.engine());
-    session.qp = &cluster_.fabric().create_qp(node_.nic(), pd_, *session.cq);
-    cluster_.fabric().connect(*session.qp, rendezvous_.resolve(msg.qp_token));
+    for (std::size_t s = 0; s < stripes; ++s) {
+      auto& qp = cluster_.fabric().create_qp(node_.nic(), pd_, *session.cq,
+                                             config_.pipeline_window);
+      cluster_.fabric().connect(qp, rendezvous_.resolve(msg.qp_tokens[s]));
+      session.qps.push_back(&qp);
+    }
 
     sessions_.erase(msg.model_name);
     sessions_.emplace(msg.model_name, std::move(session));
     ++stats_.registrations;
     ack.ok = true;
-    PLOG_DEBUG(kLog, "registered model {} ({} tensors)", msg.model_name,
-               msg.tensors.size());
+    ack.stripes = static_cast<std::uint32_t>(stripes);
+    PLOG_DEBUG(kLog, "registered model {} ({} tensors, {} stripes)", msg.model_name,
+               msg.tensors.size(), stripes);
   } catch (const Error& e) {
     ++stats_.failed_ops;
     ack.ok = false;
@@ -188,33 +217,43 @@ sim::SubTask<CheckpointDoneMsg> PortusDaemon::handle_checkpoint(CheckpointReqMsg
     const auto* slot_mr = session.slot_mr[txn.slot()];
     PORTUS_CHECK(slot_mr != nullptr, "write slot has no registered region");
 
-    // Pull changed tensors from the remote GPU (one one-sided READ each);
-    // copy unchanged ones PMEM-locally from the previous version.
-    for (std::size_t i = 0; i < index.tensors().size(); ++i) {
-      const auto& tensor = index.tensors()[i];
-      const auto& desc = session.registration.tensors[i];
-      if (!dirty.empty() && !dirty[i]) {
-        // Device-local copy: the read and write streams through the DIMMs
-        // are pipelined, so the slower (write) side bounds the copy; no NIC
-        // or GPU BAR involvement — those stay free for other tenants.
-        co_await node_.devdax_write_channel().transfer(
-            tensor.size, node_.devdax().device().perf().read_bw);
-        if (!index.phantom()) {
-          mem::copy_bytes(device_, txn.data_offset() + tensor.offset_in_slot, device_,
-                          prev_data_offset + tensor.offset_in_slot, tensor.size);
-        } else {
-          device_.mark_dirty(txn.data_offset() + tensor.offset_in_slot, tensor.size);
-        }
-        continue;
+    // Build the chunked work list: dirty tensors pulled from the remote GPU
+    // (one-sided READs), clean ones copied PMEM-locally from the previous
+    // version — all interleaved through one pipelined datapath so the flush
+    // of a finished chunk overlaps the pull of the next.
+    std::vector<TransferChunk> work;
+    for (const auto& span : index.chunk_spans(config_.chunk_bytes)) {
+      TransferChunk c;
+      c.tensor_index = span.tensor;
+      c.len = span.len;
+      c.persist_after = true;
+      c.persist_offset = txn.data_offset() + span.offset_in_slot;
+      if (!dirty.empty() && !dirty[span.tensor]) {
+        c.kind = TransferChunk::Kind::kLocalCopy;
+        c.dst_offset = txn.data_offset() + span.offset_in_slot;
+        c.src_offset = prev_data_offset + span.offset_in_slot;
+        c.phantom = index.phantom();
+      } else {
+        const auto& desc = session.registration.tensors[span.tensor];
+        c.kind = TransferChunk::Kind::kRead;
+        c.lkey = slot_mr->lkey;
+        c.local_addr = slot_mr->addr + span.offset_in_slot;
+        c.rkey = desc.rkey;
+        c.remote_addr = desc.gpu_addr + span.offset;
       }
-      const auto wc = co_await session.qp->read_sync(
-          slot_mr->lkey, slot_mr->addr + tensor.offset_in_slot, tensor.size, desc.rkey,
-          desc.gpu_addr);
-      PORTUS_CHECK(wc.status == rdma::WcStatus::kSuccess,
-                   std::string{"RDMA READ failed: "} + rdma::to_string(wc.status));
+      work.push_back(c);
     }
 
-    // Flush the slot into the persistence domain before declaring it DONE.
+    PipelinedTransfer pipe{cluster_.engine(), session.qps, *session.cq,
+                           PipelinedTransfer::Config{.window = config_.pipeline_window}};
+    pipe.bind_pmem(&device_, &node_.devdax_write_channel(),
+                   node_.devdax().device().perf().read_bw);
+    co_await pipe.run(std::move(work));
+    absorb_pipeline_stats(pipe.stats());
+
+    // Catch-all flush (layout padding is not covered by the per-chunk
+    // persists) + the once-per-checkpoint persistence-domain drain, before
+    // declaring the slot DONE.
     device_.persist(txn.data_offset(), index.slot_size());
     co_await cluster_.engine().sleep(device_.perf().persist_overhead);
 
@@ -250,16 +289,27 @@ sim::SubTask<RestoreDoneMsg> PortusDaemon::handle_restore(RestoreReqMsg msg) {
     const auto* slot_mr = session.slot_mr[*slot_idx];
     PORTUS_CHECK(slot_mr != nullptr, "restore slot has no registered region");
 
-    // Push every tensor into the remote GPU: one-sided RDMA WRITEs.
-    for (std::size_t i = 0; i < index.tensors().size(); ++i) {
-      const auto& tensor = index.tensors()[i];
-      const auto& desc = session.registration.tensors[i];
-      const auto wc = co_await session.qp->write_sync(
-          slot_mr->lkey, slot_mr->addr + tensor.offset_in_slot, tensor.size, desc.rkey,
-          desc.gpu_addr);
-      PORTUS_CHECK(wc.status == rdma::WcStatus::kSuccess,
-                   std::string{"RDMA WRITE failed: "} + rdma::to_string(wc.status));
+    // Push every tensor into the remote GPU: pipelined one-sided RDMA
+    // WRITEs through the same chunk/window/stripe engine as checkpoints
+    // (no persists — the destination is volatile GPU memory).
+    std::vector<TransferChunk> work;
+    for (const auto& span : index.chunk_spans(config_.chunk_bytes)) {
+      const auto& desc = session.registration.tensors[span.tensor];
+      TransferChunk c;
+      c.kind = TransferChunk::Kind::kWrite;
+      c.tensor_index = span.tensor;
+      c.len = span.len;
+      c.lkey = slot_mr->lkey;
+      c.local_addr = slot_mr->addr + span.offset_in_slot;
+      c.rkey = desc.rkey;
+      c.remote_addr = desc.gpu_addr + span.offset;
+      work.push_back(c);
     }
+
+    PipelinedTransfer pipe{cluster_.engine(), session.qps, *session.cq,
+                           PipelinedTransfer::Config{.window = config_.pipeline_window}};
+    co_await pipe.run(std::move(work));
+    absorb_pipeline_stats(pipe.stats());
 
     ++stats_.restores;
     stats_.bytes_pushed += session.registration.total_bytes();

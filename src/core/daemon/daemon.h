@@ -12,11 +12,13 @@
 //   [AllocTable  @ 64 KiB, capacity x 24 B]
 //   [heap        @ 1 MiB ... device end)   (MIndex records + TensorData)
 //
-// Checkpoint = CheckpointTxn::begin (ACTIVE persisted) -> one-sided RDMA
-// READ per tensor from client GPU memory into the slot's TensorData ->
-// persist -> commit (DONE + epoch persisted) -> notify client over TCP.
-// Restore = one-sided RDMA WRITE per tensor from the newest DONE slot into
-// the client's (freshly registered) GPU buffers.
+// Checkpoint = CheckpointTxn::begin (ACTIVE persisted) -> pipelined
+// one-sided RDMA READs (chunked tensors, bounded window, optional QP
+// stripes) from client GPU memory into the slot's TensorData, each chunk
+// flushed as it lands -> final persist -> commit (DONE + epoch persisted)
+// -> notify client over TCP. Restore = the same pipeline running one-sided
+// RDMA WRITEs from the newest DONE slot into the client's (freshly
+// registered) GPU buffers. See core/daemon/pipeline.h.
 #pragma once
 
 #include <map>
@@ -27,6 +29,7 @@
 #include "core/daemon/allocator.h"
 #include "core/daemon/mindex.h"
 #include "core/daemon/model_table.h"
+#include "core/daemon/pipeline.h"
 #include "core/protocol.h"
 #include "net/cluster.h"
 #include "pmem/devdax.h"
@@ -45,6 +48,16 @@ class PortusDaemon {
     std::string endpoint = "portusd";
     // Optional timeline tracing of checkpoint/restore operations.
     sim::Tracer* tracer = nullptr;
+    // --- pipelined datapath knobs (see core/daemon/pipeline.h) ---
+    // Outstanding chunks per QP lane. 1 = the classic serial datapath
+    // (identical timings, completion awaited before the next post).
+    int pipeline_window = 1;
+    // Split tensors into chunks of this many bytes so persists overlap
+    // transfers and giant tensors do not serialize behind one WR. 0 = off.
+    Bytes chunk_bytes = 0;
+    // Datapath QPs connected per session (bounded by what the client
+    // offers); chunks ride the stripes round-robin.
+    int stripes = 1;
   };
 
   struct Stats {
@@ -54,6 +67,26 @@ class PortusDaemon {
     std::uint64_t failed_ops = 0;
     Bytes bytes_pulled = 0;
     Bytes bytes_pushed = 0;
+    // --- pipelined datapath observability ---
+    std::uint64_t chunks_posted = 0;
+    std::uint64_t rdma_chunks = 0;
+    std::uint64_t local_chunks = 0;
+    int peak_window = 0;                  // max chunks in flight in any op
+    double window_chunk_seconds = 0.0;    // ∫ outstanding dt, all ops
+    double pipeline_busy_seconds = 0.0;   // datapath wall time, all ops
+    Duration queue_delay_total{0};        // head-of-line stalls, summed
+    Duration queue_delay_max{0};
+
+    double mean_window() const {
+      return pipeline_busy_seconds > 0.0 ? window_chunk_seconds / pipeline_busy_seconds
+                                         : 0.0;
+    }
+    Duration mean_queue_delay() const {
+      return chunks_posted > 0
+                 ? Duration{queue_delay_total.count() /
+                            static_cast<Duration::rep>(chunks_posted)}
+                 : Duration{0};
+    }
   };
 
   PortusDaemon(net::Cluster& cluster, net::Node& storage_node, QpRendezvous& rendezvous,
@@ -90,8 +123,8 @@ class PortusDaemon {
   struct ModelSession {
     RegisterModelMsg registration;
     std::unique_ptr<MIndex> index;
-    std::unique_ptr<rdma::CompletionQueue> cq;
-    rdma::QueuePair* qp = nullptr;
+    std::unique_ptr<rdma::CompletionQueue> cq;  // shared by all stripes
+    std::vector<rdma::QueuePair*> qps;          // one per connected stripe
     const rdma::MemoryRegion* slot_mr[2] = {nullptr, nullptr};
   };
 
@@ -101,6 +134,8 @@ class PortusDaemon {
   sim::SubTask<RegisterAckMsg> handle_register(RegisterModelMsg msg);
   sim::SubTask<CheckpointDoneMsg> handle_checkpoint(CheckpointReqMsg msg);
   sim::SubTask<RestoreDoneMsg> handle_restore(RestoreReqMsg msg);
+
+  void absorb_pipeline_stats(const PipelinedTransfer::Stats& s);
 
   net::Cluster& cluster_;
   net::Node& node_;

@@ -1,5 +1,7 @@
 #include "core/daemon/mindex.h"
 
+#include <algorithm>
+
 #include "common/binary_io.h"
 #include "common/crc32.h"
 
@@ -165,6 +167,24 @@ MIndex MIndex::load(pmem::PmemDevice& device, Bytes record_offset) {
     idx.tensors_.push_back(std::move(t));
   }
   return idx;
+}
+
+std::vector<ChunkSpan> MIndex::chunk_spans(Bytes chunk_bytes) const {
+  std::vector<ChunkSpan> spans;
+  for (std::size_t t = 0; t < tensors_.size(); ++t) {
+    const auto& tensor = tensors_[t];
+    Bytes off = 0;
+    do {
+      const Bytes len = chunk_bytes == 0 ? tensor.size
+                                         : std::min(chunk_bytes, tensor.size - off);
+      spans.push_back(ChunkSpan{.tensor = t,
+                                .offset = off,
+                                .offset_in_slot = tensor.offset_in_slot + off,
+                                .len = len});
+      off += len;
+    } while (off < tensor.size);
+  }
+  return spans;
 }
 
 int MIndex::pick_write_slot() const {

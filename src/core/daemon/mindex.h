@@ -51,6 +51,16 @@ struct IndexedTensor {
   Bytes offset_in_slot = 0;  // paddr = slot.data_offset + offset_in_slot
 };
 
+// One chunk of one tensor, as fed to the pipelined datapath: tensors larger
+// than chunk_bytes split into consecutive spans so no single giant tensor
+// serializes behind one work request.
+struct ChunkSpan {
+  std::size_t tensor = 0;   // index into MIndex::tensors()
+  Bytes offset = 0;         // byte offset of this span within the tensor
+  Bytes offset_in_slot = 0; // == tensor.offset_in_slot + offset
+  Bytes len = 0;
+};
+
 class MIndex {
  public:
   static constexpr std::uint32_t kMagic = 0x584D4950;  // "PIMX"
@@ -74,6 +84,12 @@ class MIndex {
   const std::vector<IndexedTensor>& tensors() const { return tensors_; }
 
   const SlotHeader& slot(int i) const { return slots_.at(static_cast<std::size_t>(i)); }
+  pmem::PmemDevice& device() const { return *device_; }
+
+  // Split every tensor into chunk_bytes-sized spans, in slot-layout order;
+  // the final span of a tensor carries the remainder. chunk_bytes == 0
+  // disables splitting (one span per tensor).
+  std::vector<ChunkSpan> chunk_spans(Bytes chunk_bytes) const;
 
   // Double-mapping slot selection: the slot that is NOT the newest DONE
   // version (overwriting the older/invalid version keeps one valid copy).

@@ -1,0 +1,136 @@
+#include "core/daemon/pipeline.h"
+
+#include <algorithm>
+
+#include "common/strformat.h"
+#include "mem/segment.h"
+
+namespace portus::core {
+
+PipelinedTransfer::PipelinedTransfer(sim::Engine& engine, std::vector<rdma::QueuePair*> qps,
+                                     rdma::CompletionQueue& cq, Config config)
+    : engine_{engine}, qps_{std::move(qps)}, cq_{cq}, config_{config} {
+  PORTUS_CHECK_ARG(config_.window >= 1, "pipeline window must be >= 1");
+  for (const auto* qp : qps_) {
+    PORTUS_CHECK_ARG(qp != nullptr, "null QP lane in pipelined transfer");
+  }
+}
+
+void PipelinedTransfer::bind_pmem(pmem::PmemDevice* device, sim::BandwidthChannel* copy_channel,
+                                  Bandwidth copy_read_bw) {
+  device_ = device;
+  copy_channel_ = copy_channel;
+  copy_read_bw_ = copy_read_bw;
+}
+
+sim::Process PipelinedTransfer::run_local_copy(std::uint64_t wr_id, TransferChunk chunk) {
+  try {
+    // Device-local copy: the read and write streams through the DIMMs are
+    // pipelined, so the slower (write) side bounds the copy; no NIC or GPU
+    // BAR involvement — those stay free for other tenants.
+    co_await copy_channel_->transfer(chunk.len, copy_read_bw_);
+    if (!chunk.phantom) {
+      mem::copy_bytes(*device_, chunk.dst_offset, *device_, chunk.src_offset, chunk.len);
+    } else {
+      device_->mark_dirty(chunk.dst_offset, chunk.len);
+    }
+    cq_.deliver(rdma::WorkCompletion{.wr_id = wr_id,
+                                     .opcode = rdma::WcOpcode::kLocalCopy,
+                                     .status = rdma::WcStatus::kSuccess,
+                                     .byte_len = chunk.len});
+  } catch (const Disconnected&) {
+    // engine teardown mid-copy; the pipeline dies with it
+  }
+}
+
+sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
+  const std::size_t lanes = std::max<std::size_t>(1, qps_.size());
+  const Time start = engine_.now();
+  Time last_change = start;
+  int outstanding = 0;
+  // Integrate the outstanding-chunk count over time so mean window
+  // occupancy falls out as integral / busy-time.
+  auto account = [&](int delta) {
+    const Time now = engine_.now();
+    stats_.occupancy_integral +=
+        static_cast<double>(outstanding) * to_seconds(now - last_change);
+    last_change = now;
+    outstanding += delta;
+    stats_.peak_outstanding = std::max(stats_.peak_outstanding, outstanding);
+  };
+
+  std::vector<int> lane_free(lanes, config_.window);
+  std::map<std::uint64_t, std::size_t> in_flight;  // wr_id -> chunk index
+  std::size_t next = 0;
+  Time head_since = start;  // when the current head chunk became eligible
+  std::string failure;
+
+  while (next < chunks.size() || !in_flight.empty()) {
+    // Admit work in list order while the head chunk's lane has window room.
+    while (failure.empty() && next < chunks.size() &&
+           lane_free[next % lanes] > 0) {
+      const std::size_t i = next++;
+      const TransferChunk& c = chunks[i];
+      --lane_free[i % lanes];
+      const std::uint64_t id = next_wr_id_++;
+      in_flight.emplace(id, i);
+      account(+1);
+
+      const Duration stalled = engine_.now() - head_since;
+      stats_.queue_delay_total += stalled;
+      stats_.queue_delay_max = std::max(stats_.queue_delay_max, stalled);
+      head_since = engine_.now();
+
+      ++stats_.chunks;
+      stats_.bytes += c.len;
+      if (c.kind == TransferChunk::Kind::kLocalCopy) {
+        PORTUS_CHECK(device_ != nullptr && copy_channel_ != nullptr,
+                     "local-copy chunk with no PMEM binding");
+        ++stats_.local_chunks;
+        engine_.spawn(run_local_copy(id, c));
+      } else {
+        PORTUS_CHECK(!qps_.empty(), "RDMA chunk in a pipelined transfer with no QPs");
+        ++stats_.rdma_chunks;
+        qps_[i % lanes]->post(rdma::WorkRequest{
+            .opcode = c.kind == TransferChunk::Kind::kRead ? rdma::WcOpcode::kRead
+                                                           : rdma::WcOpcode::kWrite,
+            .wr_id = id,
+            .lkey = c.lkey,
+            .local_addr = c.local_addr,
+            .length = c.len,
+            .rkey = c.rkey,
+            .remote_addr = c.remote_addr});
+      }
+    }
+    // After a failure everything already posted must still drain (RC
+    // ordering: in-flight WQEs cannot be recalled).
+    if (in_flight.empty()) break;
+
+    rdma::WorkCompletion wc = co_await cq_.wait();
+    const auto it = in_flight.find(wc.wr_id);
+    PORTUS_CHECK(it != in_flight.end(), "foreign completion drained by pipelined transfer");
+    const std::size_t idx = it->second;
+    in_flight.erase(it);
+    ++lane_free[idx % lanes];
+    account(-1);
+
+    const TransferChunk& c = chunks[idx];
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      if (failure.empty()) {
+        failure = strf("{} failed on chunk of tensor {}: {}", to_string(wc.opcode),
+                       c.tensor_index, to_string(wc.status));
+      }
+      continue;
+    }
+    if (c.persist_after) {
+      PORTUS_CHECK(device_ != nullptr, "persist_after chunk with no PMEM binding");
+      device_->persist(c.persist_offset, c.len);
+      stats_.bytes_persisted += c.len;
+    }
+  }
+  account(0);  // close the occupancy integral at the final timestamp
+  stats_.busy += engine_.now() - start;
+  PORTUS_CHECK(failure.empty(), failure);
+}
+
+}  // namespace portus::core

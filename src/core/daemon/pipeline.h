@@ -1,0 +1,128 @@
+// Pipelined datapath engine shared by checkpoint (GPU -> PMEM pull) and
+// restore (PMEM -> GPU push).
+//
+// The serial daemon awaited one read_sync/write_sync per tensor, so per-op
+// latency — not link bandwidth — bounded the many-small-tensor models.
+// PipelinedTransfer instead keeps a bounded window of chunks in flight:
+//
+//   * Chunks are assigned round-robin to the session's QP *lanes* (one lane
+//     per striped QP; PMEM-local copies of incremental mode ride lanes too,
+//     they just never touch the NIC). Each lane admits up to `window`
+//     outstanding chunks; the head of the work list stalls only when its
+//     lane is full, and every drained completion frees exactly one slot.
+//   * Completions are consumed wr_id-keyed from ONE CompletionQueue shared
+//     by all lanes, so a single coroutine drives any number of QPs.
+//   * A checkpoint chunk carries a persist range: the moment its bytes land,
+//     they are flushed into the persistence domain — the flush of chunk k
+//     overlaps the RDMA pull of chunk k+1. The caller still owns the final
+//     catch-all persist + persist_overhead sleep before txn.commit(), which
+//     keeps window=1 timing identical to the old serial loop.
+//
+// On a failed completion the engine stops admitting new chunks, drains
+// everything still in flight (RC ordering: later WQEs cannot be recalled),
+// and then throws — no half-tracked windows left behind.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "pmem/pmem_device.h"
+#include "rdma/completion_queue.h"
+#include "rdma/queue_pair.h"
+#include "sim/bandwidth_channel.h"
+#include "sim/engine.h"
+#include "sim/process.h"
+#include "sim/task.h"
+
+namespace portus::core {
+
+// One unit of pipelined work: a chunk_bytes-sized slice of a tensor (or the
+// whole tensor when it is smaller than one chunk / chunking is off).
+struct TransferChunk {
+  enum class Kind : std::uint8_t {
+    kRead,       // one-sided RDMA READ: remote GPU -> local slot (checkpoint)
+    kWrite,      // one-sided RDMA WRITE: local slot -> remote GPU (restore)
+    kLocalCopy,  // PMEM-local copy from the previous DONE slot (incremental)
+  };
+
+  Kind kind = Kind::kRead;
+  std::size_t tensor_index = 0;
+  Bytes len = 0;
+
+  // RDMA chunks (kRead / kWrite).
+  std::uint32_t lkey = 0;
+  std::uint64_t local_addr = 0;
+  std::uint32_t rkey = 0;
+  std::uint64_t remote_addr = 0;
+
+  // Local-copy chunks (kLocalCopy): PMEM device offsets.
+  Bytes dst_offset = 0;
+  Bytes src_offset = 0;
+  bool phantom = false;  // move time but no bytes (phantom payloads)
+
+  // When set, flush [persist_offset, persist_offset + len) as soon as this
+  // chunk's completion drains (checkpoint path only).
+  bool persist_after = false;
+  Bytes persist_offset = 0;
+};
+
+class PipelinedTransfer {
+ public:
+  struct Config {
+    int window = 1;  // outstanding chunks admitted per QP lane
+  };
+
+  struct Stats {
+    std::uint64_t chunks = 0;
+    std::uint64_t rdma_chunks = 0;
+    std::uint64_t local_chunks = 0;
+    Bytes bytes = 0;
+    Bytes bytes_persisted = 0;
+    int peak_outstanding = 0;         // max chunks in flight at once
+    double occupancy_integral = 0.0;  // ∫ outstanding dt, in chunk-seconds
+    Duration busy{0};                 // wall time of run()
+    Duration queue_delay_total{0};    // head-of-line stall, summed per chunk
+    Duration queue_delay_max{0};
+
+    double mean_outstanding() const {
+      const double b = to_seconds(busy);
+      return b > 0.0 ? occupancy_integral / b : 0.0;
+    }
+  };
+
+  // All `qps` must deliver into `cq`. An empty QP list is allowed as long
+  // as run() only ever sees kLocalCopy chunks.
+  PipelinedTransfer(sim::Engine& engine, std::vector<rdma::QueuePair*> qps,
+                    rdma::CompletionQueue& cq, Config config);
+
+  // Required before running kLocalCopy or persist_after chunks: the PMEM
+  // device plus the DIMM channel/read-bandwidth cap that local copies
+  // charge (same cost model as the old inline path).
+  void bind_pmem(pmem::PmemDevice* device, sim::BandwidthChannel* copy_channel,
+                 Bandwidth copy_read_bw);
+
+  // Drive the whole work list through the window; returns when every chunk
+  // has completed (and, for persist_after chunks, been flushed). Throws on
+  // the first failed completion, after draining all outstanding work.
+  sim::SubTask<> run(std::vector<TransferChunk> chunks);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Process run_local_copy(std::uint64_t wr_id, TransferChunk chunk);
+
+  sim::Engine& engine_;
+  std::vector<rdma::QueuePair*> qps_;
+  rdma::CompletionQueue& cq_;
+  Config config_;
+  pmem::PmemDevice* device_ = nullptr;
+  sim::BandwidthChannel* copy_channel_ = nullptr;
+  Bandwidth copy_read_bw_ = Bandwidth::unlimited();
+  std::uint64_t next_wr_id_ = 0xB1BE0000ull;
+  Stats stats_;
+};
+
+}  // namespace portus::core

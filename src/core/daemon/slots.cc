@@ -19,6 +19,8 @@ CheckpointTxn::~CheckpointTxn() {
 
 void CheckpointTxn::commit() {
   if (committed_) return;
+  PORTUS_CHECK(index_->device().is_persisted(data_offset(), index_->slot_size()),
+               "commit with unpersisted TensorData in the write slot");
   index_->set_slot(slot_, SlotState::kDone, epoch_);
   committed_ = true;
 }

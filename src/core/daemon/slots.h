@@ -43,7 +43,12 @@ class CheckpointTxn {
   std::uint64_t epoch() const { return epoch_; }
 
   // Flip to DONE with the new epoch (persisted). Idempotent-safe: only the
-  // first call commits.
+  // first call commits. Enforces the persist-before-DONE contract: every
+  // dirty byte of the slot's TensorData must already be inside the
+  // persistence domain, else the DONE flag would bless data a power
+  // failure can still tear. With the pipelined datapath (per-chunk
+  // flushes racing ahead of the transfer window) this is the single choke
+  // point where the invariant is checked.
   void commit();
 
  private:

@@ -40,6 +40,27 @@ std::string Portusctl::render_view() {
   return out;
 }
 
+std::string Portusctl::render_stats() {
+  const auto& s = daemon_.stats();
+  std::string out = "--- daemon ---\n";
+  out += strf("{:<28}{}\n", "registrations", s.registrations);
+  out += strf("{:<28}{}\n", "checkpoints", s.checkpoints);
+  out += strf("{:<28}{}\n", "restores", s.restores);
+  out += strf("{:<28}{}\n", "failed ops", s.failed_ops);
+  out += strf("{:<28}{}\n", "bytes pulled", format_bytes(s.bytes_pulled));
+  out += strf("{:<28}{}\n", "bytes pushed", format_bytes(s.bytes_pushed));
+  out += "--- pipelined datapath ---\n";
+  out += strf("{:<28}{}\n", "chunks posted", s.chunks_posted);
+  out += strf("{:<28}{} rdma / {} local\n", "chunk mix", s.rdma_chunks, s.local_chunks);
+  out += strf("{:<28}{}\n", "peak window occupancy", s.peak_window);
+  out += strf("{:<28}{:.2f}\n", "mean window occupancy", s.mean_window());
+  out += strf("{:<28}{:.1f} us\n", "mean queue delay",
+              to_seconds(s.mean_queue_delay()) * 1e6);
+  out += strf("{:<28}{:.1f} us\n", "max queue delay",
+              to_seconds(s.queue_delay_max) * 1e6);
+  return out;
+}
+
 sim::SubTask<storage::CheckpointFile> Portusctl::dump(const std::string& model_name) {
   const MIndex* live = daemon_.find_live_index(model_name);
   std::optional<MIndex> loaded;

@@ -42,6 +42,11 @@ class Portusctl {
   std::vector<ModelInfo> view();
   std::string render_view();  // human-readable table
 
+  // `portusctl stats`: operation counters plus pipelined-datapath
+  // observability (window occupancy, chunk mix, queueing delay) of the
+  // daemon this tool is attached to.
+  std::string render_stats();
+
   // `portusctl dump`: read the newest DONE version's TensorData out of PMEM
   // and serialize it into the portable container format. Charges PMEM read
   // + CPU serialization time.

@@ -45,7 +45,8 @@ std::vector<std::byte> encode(const RegisterModelMsg& m) {
   BinaryWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRegisterModel));
   w.str(m.model_name);
-  w.u64(m.qp_token);
+  w.u32(static_cast<std::uint32_t>(m.qp_tokens.size()));
+  for (const auto token : m.qp_tokens) w.u64(token);
   w.u8(m.phantom ? 1 : 0);
   w.u32(static_cast<std::uint32_t>(m.tensors.size()));
   for (const auto& t : m.tensors) {
@@ -64,7 +65,10 @@ RegisterModelMsg decode_register_model(std::span<const std::byte> wire) {
   auto r = body_reader(wire, MsgType::kRegisterModel);
   RegisterModelMsg m;
   m.model_name = r.str();
-  m.qp_token = r.u64();
+  const auto n_tokens = r.u32();
+  if (n_tokens > 256) throw Corruption("implausible QP stripe count in registration");
+  m.qp_tokens.resize(n_tokens);
+  for (auto& token : m.qp_tokens) token = r.u64();
   m.phantom = r.u8() != 0;
   const auto count = r.u32();
   m.tensors.reserve(count);
@@ -88,6 +92,7 @@ std::vector<std::byte> encode(const RegisterAckMsg& m) {
   BinaryWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRegisterAck));
   put_status(w, m.ok, m.error);
+  w.u32(m.stripes);
   return w.take();
 }
 
@@ -96,6 +101,7 @@ RegisterAckMsg decode_register_ack(std::span<const std::byte> wire) {
   RegisterAckMsg m;
   m.ok = r.u8() != 0;
   m.error = r.str();
+  m.stripes = r.u32();
   return m;
 }
 

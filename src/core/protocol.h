@@ -9,9 +9,11 @@
 // peer-to-peer over RDMA.
 //
 // QP rendezvous: real deployments exchange QP numbers/GIDs through RDMA CM;
-// in the simulation the registration packet carries an opaque `qp_token`
-// that the daemon resolves through QpRendezvous to obtain the client's
-// QueuePair and complete the RC connection.
+// in the simulation the registration packet carries opaque `qp_tokens`
+// (one per datapath stripe the client offers) that the daemon resolves
+// through QpRendezvous to obtain the client's QueuePairs and complete the
+// RC connections. The daemon connects min(offered, configured) stripes and
+// reports the accepted count in the ack.
 #pragma once
 
 #include <cstdint>
@@ -51,7 +53,9 @@ struct TensorDesc {
 
 struct RegisterModelMsg {
   std::string model_name;
-  std::uint64_t qp_token = 0;
+  // One token per datapath stripe the client offers (>= 1); the daemon
+  // connects a prefix of them, bounded by its own `stripes` config.
+  std::vector<std::uint64_t> qp_tokens;
   bool phantom = false;
   std::vector<TensorDesc> tensors;
 
@@ -65,6 +69,8 @@ struct RegisterModelMsg {
 struct RegisterAckMsg {
   bool ok = false;
   std::string error;
+  // Datapath stripes the daemon actually connected (<= tokens offered).
+  std::uint32_t stripes = 0;
 };
 
 struct CheckpointReqMsg {

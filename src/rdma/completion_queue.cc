@@ -8,6 +8,7 @@ const char* to_string(WcOpcode op) {
     case WcOpcode::kWrite: return "RDMA_WRITE";
     case WcOpcode::kSend: return "SEND";
     case WcOpcode::kRecv: return "RECV";
+    case WcOpcode::kLocalCopy: return "LOCAL_COPY";
   }
   return "?";
 }
@@ -23,6 +24,11 @@ const char* to_string(WcStatus status) {
 }
 
 std::optional<WorkCompletion> CompletionQueue::poll() {
+  if (!stash_.empty()) {
+    auto wc = std::move(stash_.front());
+    stash_.pop_front();
+    return wc;
+  }
   if (chan_.empty()) return std::nullopt;
   // Channel has no non-coroutine pop; emulate via immediate recv awaitable.
   // Since the queue is non-empty, await_ready() is true and the value is
@@ -30,6 +36,30 @@ std::optional<WorkCompletion> CompletionQueue::poll() {
   auto aw = chan_.recv();
   if (!aw.await_ready()) return std::nullopt;
   return aw.await_resume();
+}
+
+sim::SubTask<WorkCompletion> CompletionQueue::wait() {
+  if (!stash_.empty()) {
+    auto wc = std::move(stash_.front());
+    stash_.pop_front();
+    co_return wc;
+  }
+  auto wc = co_await chan_.recv();
+  co_return wc;
+}
+
+sim::SubTask<WorkCompletion> CompletionQueue::wait_for(std::uint64_t wr_id) {
+  for (;;) {
+    for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+      if (it->wr_id != wr_id) continue;
+      auto wc = std::move(*it);
+      stash_.erase(it);
+      co_return wc;
+    }
+    auto wc = co_await chan_.recv();
+    if (wc.wr_id == wr_id) co_return wc;
+    stash_.push_back(std::move(wc));
+  }
 }
 
 }  // namespace portus::rdma

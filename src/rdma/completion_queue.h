@@ -2,6 +2,12 @@
 //
 // Mirrors ibv_cq usage: non-blocking poll() plus an awaitable wait() for
 // coroutine consumers (the simulated equivalent of a completion channel).
+//
+// Pipelined consumers that keep several work requests in flight on one CQ
+// (possibly across several QPs bound to it) use wait_for(wr_id): any
+// completion that arrives for a *different* wr_id is stashed and handed out
+// by a later wait()/wait_for()/poll() instead of being dropped, so windowed
+// posting and wr_id-keyed draining can coexist on the same queue.
 #pragma once
 
 #include <cstdint>
@@ -12,10 +18,11 @@
 #include "common/units.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
+#include "sim/task.h"
 
 namespace portus::rdma {
 
-enum class WcOpcode : std::uint8_t { kRead, kWrite, kSend, kRecv };
+enum class WcOpcode : std::uint8_t { kRead, kWrite, kSend, kRecv, kLocalCopy };
 enum class WcStatus : std::uint8_t {
   kSuccess,
   kRemoteAccessError,  // bad rkey / out-of-bounds / missing permission
@@ -37,19 +44,27 @@ class CompletionQueue {
  public:
   explicit CompletionQueue(sim::Engine& engine) : chan_{engine} {}
 
-  // Non-blocking: pops one completion if present.
+  // Non-blocking: pops one completion if present (stashed entries first).
   std::optional<WorkCompletion> poll();
 
-  // Awaitable: suspends until a completion arrives.
-  auto wait() { return chan_.recv(); }
+  // Awaitable: suspends until a completion arrives. Stashed entries (left
+  // behind by a wait_for() that matched a later one) are drained first, in
+  // arrival order.
+  sim::SubTask<WorkCompletion> wait();
+
+  // Awaitable: suspends until the completion carrying `wr_id` arrives;
+  // completions for other wr_ids encountered along the way are stashed for
+  // subsequent waiters rather than discarded.
+  sim::SubTask<WorkCompletion> wait_for(std::uint64_t wr_id);
 
   // NIC-side delivery.
   void deliver(WorkCompletion wc) { chan_.push(std::move(wc)); }
 
-  std::size_t depth() const { return chan_.size(); }
+  std::size_t depth() const { return chan_.size() + stash_.size(); }
 
  private:
   sim::Channel<WorkCompletion> chan_;
+  std::deque<WorkCompletion> stash_;  // out-of-order arrivals, FIFO
 };
 
 }  // namespace portus::rdma

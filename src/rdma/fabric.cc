@@ -7,8 +7,10 @@
 
 namespace portus::rdma {
 
-QueuePair& Fabric::create_qp(RdmaNic& nic, ProtectionDomain& pd, CompletionQueue& cq) {
-  qps_.push_back(std::unique_ptr<QueuePair>{new QueuePair{*this, nic, pd, cq, next_qp_num_++}});
+QueuePair& Fabric::create_qp(RdmaNic& nic, ProtectionDomain& pd, CompletionQueue& cq,
+                             int max_outstanding) {
+  qps_.push_back(std::unique_ptr<QueuePair>{
+      new QueuePair{*this, nic, pd, cq, next_qp_num_++, max_outstanding}});
   return *qps_.back();
 }
 

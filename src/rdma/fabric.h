@@ -32,7 +32,11 @@ class Fabric {
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  QueuePair& create_qp(RdmaNic& nic, ProtectionDomain& pd, CompletionQueue& cq);
+  // `max_outstanding` is the QP's WQE processing depth: how many posted
+  // work requests the executor keeps in flight at once (1 = strictly
+  // serial, the classic behaviour).
+  QueuePair& create_qp(RdmaNic& nic, ProtectionDomain& pd, CompletionQueue& cq,
+                       int max_outstanding = 1);
 
   // RC connection establishment (both directions).
   void connect(QueuePair& a, QueuePair& b);

@@ -5,18 +5,26 @@
 namespace portus::rdma {
 
 QueuePair::QueuePair(Fabric& fabric, RdmaNic& nic, ProtectionDomain& pd, CompletionQueue& cq,
-                     std::uint32_t qp_num)
+                     std::uint32_t qp_num, int max_outstanding)
     : fabric_{fabric},
       nic_{nic},
       pd_{pd},
       cq_{cq},
       qp_num_{qp_num},
+      max_outstanding_{max_outstanding},
       sq_{nic.engine()},
-      rq_tokens_{nic.engine(), 0} {}
+      wqe_slots_{nic.engine(), max_outstanding},
+      rq_tokens_{nic.engine(), 0} {
+  PORTUS_CHECK_ARG(max_outstanding >= 1, "QP processing depth must be >= 1");
+}
 
 void QueuePair::post(WorkRequest wr) {
   PORTUS_CHECK_ARG(connected(), "post on unconnected QP");
   sq_.push(std::move(wr));
+}
+
+void QueuePair::post(std::span<const WorkRequest> wrs) {
+  for (const auto& wr : wrs) post(wr);
 }
 
 void QueuePair::post_recv(RecvWr wr) {
@@ -28,11 +36,24 @@ sim::Process QueuePair::run_send_queue() {
   try {
     for (;;) {
       WorkRequest wr = co_await sq_.recv();
-      WorkCompletion wc = co_await fabric_.execute(*this, wr);
-      cq_.deliver(wc);
+      // WQEs *start* in SQ order but may overlap up to the processing
+      // depth; at depth 1 the slot is only returned after the completion
+      // is delivered, reproducing the serial executor exactly.
+      co_await wqe_slots_.acquire();
+      nic_.engine().spawn(execute_one(wr));
     }
   } catch (const Disconnected&) {
     // QP torn down; nothing to flush (entries die with the channel).
+  }
+}
+
+sim::Process QueuePair::execute_one(WorkRequest wr) {
+  try {
+    WorkCompletion wc = co_await fabric_.execute(*this, wr);
+    cq_.deliver(wc);
+    wqe_slots_.release();
+  } catch (const Disconnected&) {
+    // Fabric resource torn down mid-op; the WQE dies silently at shutdown.
   }
 }
 
@@ -47,8 +68,7 @@ sim::SubTask<WorkCompletion> QueuePair::read_sync(std::uint32_t lkey, std::uint6
                    .length = length,
                    .rkey = rkey,
                    .remote_addr = remote_addr});
-  WorkCompletion wc = co_await cq_.wait();
-  PORTUS_CHECK(wc.wr_id == id, "interleaved completion on exclusive QP (read_sync)");
+  WorkCompletion wc = co_await cq_.wait_for(id);
   co_return wc;
 }
 
@@ -63,8 +83,7 @@ sim::SubTask<WorkCompletion> QueuePair::write_sync(std::uint32_t lkey, std::uint
                    .length = length,
                    .rkey = rkey,
                    .remote_addr = remote_addr});
-  WorkCompletion wc = co_await cq_.wait();
-  PORTUS_CHECK(wc.wr_id == id, "interleaved completion on exclusive QP (write_sync)");
+  WorkCompletion wc = co_await cq_.wait_for(id);
   co_return wc;
 }
 
@@ -76,8 +95,7 @@ sim::SubTask<WorkCompletion> QueuePair::send_sync(std::uint32_t lkey, std::uint6
                    .lkey = lkey,
                    .local_addr = local_addr,
                    .length = length});
-  WorkCompletion wc = co_await cq_.wait();
-  PORTUS_CHECK(wc.wr_id == id, "interleaved completion on exclusive QP (send_sync)");
+  WorkCompletion wc = co_await cq_.wait_for(id);
   co_return wc;
 }
 

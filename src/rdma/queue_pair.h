@@ -1,14 +1,19 @@
 // Reliable-connected queue pairs.
 //
-// Work requests posted to a QP execute strictly in order (RC ordering): an
-// internal executor process drains the send queue one WQE at a time, runs it
-// through the fabric, and delivers a completion to the CQ. Two-sided SENDs
-// match the remote QP's posted receive buffers FIFO; a SEND with no posted
-// receive waits (RNR retry, infinite retry count).
+// Work requests posted to a QP start executing strictly in order (RC
+// ordering): an internal executor process drains the send queue and runs
+// each WQE through the fabric, delivering a completion to the CQ when it
+// finishes. The executor keeps up to `max_outstanding` WQEs in flight at
+// once (the NIC's processing depth); at the default depth of 1 it degrades
+// to the classic one-WQE-at-a-time loop, where a completion is delivered
+// before the next WQE begins. Two-sided SENDs match the remote QP's posted
+// receive buffers FIFO; a SEND with no posted receive waits (RNR retry,
+// infinite retry count).
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <span>
 
 #include "common/units.h"
 #include "rdma/completion_queue.h"
@@ -52,14 +57,17 @@ class QueuePair {
   RdmaNic& nic() { return nic_; }
   ProtectionDomain& pd() { return pd_; }
   CompletionQueue& cq() { return cq_; }
+  int max_outstanding() const { return max_outstanding_; }
 
   // Post to the send queue; the completion lands in cq() later.
   void post(WorkRequest wr);
+  // Doorbell batching: post a whole list in one call (ibv_post_send with a
+  // chained wr list). Equivalent to posting each in order.
+  void post(std::span<const WorkRequest> wrs);
   void post_recv(RecvWr wr);
 
-  // Convenience: post and await the matching completion. Requires that the
-  // caller is the only consumer of this QP's CQ (true for Portus daemon
-  // workers, which own one QP+CQ each).
+  // Convenience: post and await the matching completion, keyed by wr_id —
+  // safe even when the CQ is shared with other QPs or pipelined consumers.
   sim::SubTask<WorkCompletion> read_sync(std::uint32_t lkey, std::uint64_t local_addr,
                                          Bytes length, std::uint32_t rkey,
                                          std::uint64_t remote_addr);
@@ -74,19 +82,22 @@ class QueuePair {
  private:
   friend class Fabric;
   QueuePair(Fabric& fabric, RdmaNic& nic, ProtectionDomain& pd, CompletionQueue& cq,
-            std::uint32_t qp_num);
+            std::uint32_t qp_num, int max_outstanding);
 
   sim::Process run_send_queue();
+  sim::Process execute_one(WorkRequest wr);
 
   Fabric& fabric_;
   RdmaNic& nic_;
   ProtectionDomain& pd_;
   CompletionQueue& cq_;
   std::uint32_t qp_num_;
+  int max_outstanding_;
   QueuePair* peer_ = nullptr;
   std::uint64_t next_sync_wr_id_ = 0x5E000000ull;
 
   sim::Channel<WorkRequest> sq_;
+  sim::SimSemaphore wqe_slots_;  // bounds in-flight WQEs to max_outstanding
   std::deque<RecvWr> rq_;
   sim::SimSemaphore rq_tokens_;  // counts posted receives (RNR waiting)
 };

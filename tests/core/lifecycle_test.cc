@@ -236,7 +236,7 @@ TEST(LifecycleTest, ReRegistrationWithDifferentStructureRejected) {
 
   RegisterModelMsg msg;
   msg.model_name = "alexnet";
-  msg.qp_token = r.rendezvous.publish(qp);
+  msg.qp_tokens.push_back(r.rendezvous.publish(qp));
   msg.tensors.push_back(TensorDesc{.name = "t0", .size = 4096});
 
   bool rejected = false;

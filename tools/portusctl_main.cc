@@ -84,6 +84,7 @@ int cmd_demo(const std::string& image) {
   std::cout << "seeded " << image << " with " << jobs.size() << " checkpointed models\n";
   core::Portusctl ctl{*w.daemon};
   std::cout << ctl.render_view();
+  std::cout << "\n" << ctl.render_stats();
   return 0;
 }
 
