@@ -1,6 +1,9 @@
 #include "core/client.h"
 
+#include <numeric>
+
 #include "common/logging.h"
+#include "common/strformat.h"
 
 namespace portus::core {
 
@@ -13,7 +16,7 @@ PortusClient::PortusClient(net::Cluster& cluster, net::Node& client_node, gpu::G
       endpoint_{std::move(endpoint)},
       stripes_{stripes} {
   PORTUS_CHECK_ARG(stripes >= 1 && stripes <= 256, "client stripes must be in [1, 256]");
-  pd_ = &client_node.nic().alloc_pd("portus-client-pd");
+  pd_ = &client_node.nic().alloc_pd("portus-client-pd/" + endpoint_);
 }
 
 sim::SubTask<> PortusClient::connect() {
@@ -23,28 +26,85 @@ sim::SubTask<> PortusClient::connect() {
 
 sim::SubTask<std::vector<std::byte>> PortusClient::roundtrip(std::vector<std::byte> request) {
   PORTUS_CHECK(socket_ != nullptr, "client not connected");
-  PORTUS_CHECK(!op_in_flight_, "one control-plane operation at a time per client");
+  PORTUS_CHECK(!*op_in_flight_, "one control-plane operation at a time per client");
   // Scope guard, not a plain reset at the end: recv() throws when the
   // daemon side goes away, and a wedged op_in_flight_ would reject every
-  // later operation on this client.
-  op_in_flight_ = true;
-  const auto clear_flag = [](bool* flag) { *flag = false; };
-  const std::unique_ptr<bool, decltype(clear_flag)> guard{&op_in_flight_, clear_flag};
+  // later operation on this client. The guard shares ownership of the flag
+  // so it stays valid even if the client is destroyed mid-op and the
+  // suspended frame is torn down later by engine shutdown.
+  *op_in_flight_ = true;
+  struct BusyGuard {
+    std::shared_ptr<bool> flag;
+    ~BusyGuard() { *flag = false; }
+  };
+  const BusyGuard guard{op_in_flight_};
   socket_->send(std::move(request));
-  auto reply = co_await socket_->recv();
-  co_return reply;
+
+  if (op_timeout_ <= Duration{0}) {
+    auto reply = co_await socket_->recv();
+    co_return reply;
+  }
+
+  // Watchdog: if the daemon has not answered within op_timeout_, close our
+  // own socket — the pending recv() then fails with Disconnected. The timer
+  // outlives the op (it holds the socket by shared_ptr), so a late fire on
+  // a completed op is a no-op.
+  struct Watch {
+    bool done = false;
+    bool fired = false;
+  };
+  auto watch = std::make_shared<Watch>();
+  auto sock = socket_;
+  cluster_.engine().schedule(op_timeout_, [sock, watch] {
+    if (!watch->done) {
+      watch->fired = true;
+      sock->close();
+    }
+  });
+  try {
+    auto reply = co_await socket_->recv();
+    watch->done = true;
+    co_return reply;
+  } catch (const Disconnected&) {
+    watch->done = true;
+    if (watch->fired) {
+      ++stats_.timeouts;
+      throw Disconnected(
+          strf("operation to {} timed out after {}", endpoint_, format_duration(op_timeout_)));
+    }
+    throw;
+  }
 }
 
 sim::SubTask<> PortusClient::register_model(dnn::Model& model) {
+  ShardBinding all;
+  all.reg_name = model.name();
+  all.tensor_indices.resize(model.tensors().size());
+  std::iota(all.tensor_indices.begin(), all.tensor_indices.end(), 0u);
+  co_await register_shard(model, std::move(all));
+}
+
+sim::SubTask<> PortusClient::register_shard(dnn::Model& model, ShardBinding binding) {
   const Time t0 = cluster_.engine().now();
+  PORTUS_CHECK_ARG(!binding.tensor_indices.empty(), "shard binding has no tensors");
 
   RegisterModelMsg msg;
-  msg.model_name = model.name();
+  msg.model_name = binding.reg_name;
   msg.phantom = model.phantom();
+  msg.shard_id = binding.shard_id;
+  msg.shard_count = binding.shard_count;
+  msg.replica = binding.replica;
+  msg.replica_count = binding.replica_count;
+  msg.placement_epoch = binding.placement_epoch;
+  msg.manifest = std::move(binding.manifest);
 
-  // Pin every tensor through PeerMem and register it with the RNIC. The
-  // remote side needs READ (checkpoint pull) and WRITE (restore push).
-  for (auto& tensor : model.tensors()) {
+  // Pin the bound tensors through PeerMem and register them with the RNIC.
+  // The remote side needs READ (checkpoint pull) and WRITE (restore push).
+  auto& tensors = model.tensors();
+  for (const auto i : binding.tensor_indices) {
+    PORTUS_CHECK_ARG(i < tensors.size(),
+                     strf("shard binding tensor index {} out of range", i));
+    auto& tensor = tensors[i];
     const auto peer = co_await gpu::PeerMem::register_buffer(gpu_, tensor.buffer());
     const auto& mr = pd_->register_region(node_.gpu_region(peer));
     msg.tensors.push_back(TensorDesc{
@@ -57,15 +117,21 @@ sim::SubTask<> PortusClient::register_model(dnn::Model& model) {
     });
   }
 
-  // One CQ serves every stripe: the daemon drives all lanes wr_id-keyed,
-  // and the client side is passive (one-sided verbs target its memory).
-  cq_ = std::make_unique<rdma::CompletionQueue>(cluster_.engine());
-  qps_.clear();
+  // One CQ serves every stripe of this registration: the daemon drives all
+  // lanes wr_id-keyed, and the client side is passive (one-sided verbs
+  // target its memory). Each registration keeps its own datapath — a daemon
+  // may host several shard copies through one client, and tearing down an
+  // older registration's CQ while its QPs live would dangle.
+  Datapath dp;
+  dp.cq = std::make_unique<rdma::CompletionQueue>(cluster_.engine());
   for (int s = 0; s < stripes_; ++s) {
-    auto& qp = cluster_.fabric().create_qp(node_.nic(), *pd_, *cq_);
-    qps_.push_back(&qp);
+    auto& qp = cluster_.fabric().create_qp(node_.nic(), *pd_, *dp.cq);
+    dp.qps.push_back(&qp);
     msg.qp_tokens.push_back(rendezvous_.publish(qp));
   }
+  const std::string reg_name = msg.model_name;
+  const std::size_t tensor_count = msg.tensors.size();
+  datapaths_[reg_name] = std::move(dp);
 
   auto wire = encode(msg);
   const auto reply = co_await roundtrip(std::move(wire));
@@ -73,8 +139,8 @@ sim::SubTask<> PortusClient::register_model(dnn::Model& model) {
   PORTUS_CHECK(ack.ok, "registration rejected: " + ack.error);
   stats_.negotiated_stripes = ack.stripes;
   stats_.registration_time = cluster_.engine().now() - t0;
-  PLOG_DEBUG("portus-client", "registered {} ({} tensors, {})", model.name(),
-             model.layer_count(), format_bytes(model.total_bytes()));
+  PLOG_DEBUG("portus-client", "registered {} ({} tensors) at {}", reg_name, tensor_count,
+             endpoint_);
 }
 
 sim::SubTask<std::uint64_t> PortusClient::checkpoint(dnn::Model& model,
@@ -82,12 +148,26 @@ sim::SubTask<std::uint64_t> PortusClient::checkpoint(dnn::Model& model,
   co_return co_await checkpoint_incremental(model, iteration, {});
 }
 
-sim::SubTask<std::uint64_t> PortusClient::checkpoint_incremental(
-    dnn::Model& model, std::uint64_t iteration, std::vector<std::uint32_t> dirty_indices) {
+sim::SubTask<std::uint64_t> PortusClient::checkpoint_named(std::string reg_name,
+                                                           std::uint64_t iteration) {
   const Time t0 = cluster_.engine().now();
   // NOTE: temporaries are materialized into locals before co_await — GCC 12
   // miscompiles non-trivial temporaries inside co_await full-expressions
   // (double destruction after resumption).
+  CheckpointReqMsg req{
+      .model_name = std::move(reg_name), .iteration = iteration, .dirty_indices = {}};
+  auto wire = encode(req);
+  const auto reply = co_await roundtrip(std::move(wire));
+  const auto done = decode_checkpoint_done(reply);
+  PORTUS_CHECK(done.ok, "checkpoint failed: " + done.error);
+  ++stats_.checkpoints;
+  stats_.last_checkpoint = cluster_.engine().now() - t0;
+  co_return done.epoch;
+}
+
+sim::SubTask<std::uint64_t> PortusClient::checkpoint_incremental(
+    dnn::Model& model, std::uint64_t iteration, std::vector<std::uint32_t> dirty_indices) {
+  const Time t0 = cluster_.engine().now();
   CheckpointReqMsg req{.model_name = model.name(),
                        .iteration = iteration,
                        .dirty_indices = std::move(dirty_indices)};
@@ -101,8 +181,13 @@ sim::SubTask<std::uint64_t> PortusClient::checkpoint_incremental(
 }
 
 sim::SubTask<std::uint64_t> PortusClient::restore(dnn::Model& model) {
+  co_return co_await restore_named(model.name());
+}
+
+sim::SubTask<std::uint64_t> PortusClient::restore_named(std::string reg_name,
+                                                        std::uint64_t required_epoch) {
   const Time t0 = cluster_.engine().now();
-  RestoreReqMsg req{.model_name = model.name()};
+  RestoreReqMsg req{.model_name = std::move(reg_name), .required_epoch = required_epoch};
   auto wire = encode(req);
   const auto reply = co_await roundtrip(std::move(wire));
   const auto done = decode_restore_done(reply);

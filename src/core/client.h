@@ -7,8 +7,14 @@
 // the daemon over TCP/IPoIB. checkpoint() and restore() are then one-word
 // triggers: the *daemon* moves all tensor bytes with one-sided verbs, so
 // the client never copies, serializes, or crosses into a kernel filesystem.
+//
+// Sharded mode (core/cluster/): one PortusClient per daemon, and
+// register_shard() registers a *subset* of the model's tensors under a
+// shard-scoped name. A daemon may host several shard copies of one model,
+// so a client keeps one datapath (CQ + QP stripes) per registration.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -25,10 +31,25 @@ class PortusClient {
   struct Stats {
     std::uint64_t checkpoints = 0;
     std::uint64_t restores = 0;
+    std::uint64_t timeouts = 0;  // ops abandoned by the watchdog
     Duration last_checkpoint{0};
     Duration last_restore{0};
     Duration registration_time{0};
-    std::uint32_t negotiated_stripes = 0;  // accepted by the daemon
+    std::uint32_t negotiated_stripes = 0;  // accepted by the daemon (last reg)
+  };
+
+  // One shard copy's registration: which tensors go to this daemon and
+  // under what identity. register_model() is the degenerate single-shard
+  // case (all tensors, the model's own name).
+  struct ShardBinding {
+    std::string reg_name;                        // shard-scoped ModelTable key
+    std::vector<std::uint32_t> tensor_indices;   // subset, ascending
+    std::uint32_t shard_id = 0;
+    std::uint32_t shard_count = 1;
+    std::uint32_t replica = 0;
+    std::uint32_t replica_count = 1;
+    std::uint64_t placement_epoch = 0;
+    std::vector<std::byte> manifest;  // encoded ShardManifest (may be empty)
   };
 
   // `stripes` is how many datapath QPs the client offers at registration;
@@ -44,9 +65,14 @@ class PortusClient {
   // lays out the checkpoint structure on PMEM before this returns.
   sim::SubTask<> register_model(dnn::Model& model);
 
+  // Register a subset of the model's tensors under binding.reg_name.
+  sim::SubTask<> register_shard(dnn::Model& model, ShardBinding binding);
+
   // Trigger "DO_CHECKPOINT" and wait for the daemon's completion notice.
   // Returns the committed epoch.
   sim::SubTask<std::uint64_t> checkpoint(dnn::Model& model, std::uint64_t iteration = 0);
+  sim::SubTask<std::uint64_t> checkpoint_named(std::string reg_name,
+                                               std::uint64_t iteration = 0);
 
   // Incremental variant (Check-N-Run-style extension): only the tensors in
   // `dirty_indices` changed since the previous checkpoint; the daemon pulls
@@ -57,16 +83,34 @@ class PortusClient {
       std::vector<std::uint32_t> dirty_indices);
 
   // Trigger "DO_RESTORE": daemon writes the newest valid version into the
-  // model's GPU buffers. Returns the restored epoch.
+  // model's GPU buffers. Returns the restored epoch. `required_epoch` is
+  // the replica-epoch floor (0 = newest available, see protocol.h).
   sim::SubTask<std::uint64_t> restore(dnn::Model& model);
+  sim::SubTask<std::uint64_t> restore_named(std::string reg_name,
+                                            std::uint64_t required_epoch = 0);
 
   // Tell the daemon this training job is complete (repacker hint).
   sim::SubTask<> finish(dnn::Model& model);
 
+  // Abandon any control-plane roundtrip not answered within `d` of virtual
+  // time (0 = wait forever). The watchdog closes the socket, so a timed-out
+  // client is disconnected — exactly what a real client does when it gives
+  // a dead daemon up. Degraded cluster restores rely on this to detect
+  // hung (not just crashed) daemons.
+  void set_op_timeout(Duration d) { op_timeout_ = d; }
+
   const Stats& stats() const { return stats_; }
-  bool connected() const { return socket_ != nullptr; }
+  bool connected() const { return socket_ != nullptr && !socket_->closed(); }
+  const std::string& endpoint() const { return endpoint_; }
 
  private:
+  // Per-registration datapath: every registered (shard-scoped) name keeps
+  // its own CQ and QP stripes alive for the daemon to drive.
+  struct Datapath {
+    std::unique_ptr<rdma::CompletionQueue> cq;
+    std::vector<rdma::QueuePair*> qps;
+  };
+
   sim::SubTask<std::vector<std::byte>> roundtrip(std::vector<std::byte> request);
 
   net::Cluster& cluster_;
@@ -75,11 +119,13 @@ class PortusClient {
   QpRendezvous& rendezvous_;
   std::string endpoint_;
   int stripes_;
+  Duration op_timeout_{0};
   std::shared_ptr<net::TcpSocket> socket_;
   rdma::ProtectionDomain* pd_ = nullptr;
-  std::unique_ptr<rdma::CompletionQueue> cq_;
-  std::vector<rdma::QueuePair*> qps_;  // one per offered stripe
-  bool op_in_flight_ = false;
+  std::map<std::string, Datapath> datapaths_;  // by registration name
+  // Heap-held so the roundtrip scope guard stays valid even if the client
+  // is destroyed while the coroutine is suspended (crash-mid-op tests).
+  std::shared_ptr<bool> op_in_flight_ = std::make_shared<bool>(false);
   Stats stats_;
 };
 

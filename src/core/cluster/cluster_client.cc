@@ -1,0 +1,284 @@
+#include "core/cluster/cluster_client.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/strformat.h"
+
+namespace portus::core::cluster {
+
+namespace {
+constexpr const char* kLog = "cluster-client";
+}
+
+ClusterClient::ClusterClient(net::Cluster& cluster, net::Node& client_node,
+                             gpu::GpuDevice& gpu, QpRendezvous& rendezvous, Config config)
+    : cluster_{cluster},
+      node_{client_node},
+      gpu_{gpu},
+      rendezvous_{rendezvous},
+      config_{std::move(config)} {
+  PORTUS_CHECK_ARG(!config_.endpoints.empty(), "cluster client needs at least one daemon");
+  PORTUS_CHECK_ARG(config_.replicas >= 1, "replication factor must be >= 1");
+  lanes_.reserve(config_.endpoints.size());
+  for (const auto& ep : config_.endpoints) {
+    Lane lane;
+    lane.endpoint = ep;
+    lane.client = std::make_unique<PortusClient>(cluster_, node_, gpu_, rendezvous_, ep,
+                                                 config_.stripes);
+    lane.client->set_op_timeout(config_.op_timeout);
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+void ClusterClient::mark_lane_down(Lane& lane) {
+  if (!lane.up) return;
+  lane.up = false;
+  ++stats_.lane_failures;
+  PLOG_INFO(kLog, "lane {} marked down", lane.endpoint);
+}
+
+sim::Process ClusterClient::lane_register(Lane& lane, dnn::Model& model) {
+  try {
+    if (!lane.client->connected()) co_await lane.client->connect();
+    for (const auto id : lane.copy_ids) {
+      auto& copy = copies_[id];
+      PortusClient::ShardBinding binding;
+      binding.reg_name = shard_key(model_name_, copy.shard);
+      binding.tensor_indices = plan_.shard_tensors[copy.shard];
+      binding.shard_id = copy.shard;
+      binding.shard_count = static_cast<std::uint32_t>(plan_.shard_tensors.size());
+      binding.replica = copy.replica;
+      binding.replica_count =
+          static_cast<std::uint32_t>(plan_.shard_daemons[copy.shard].size());
+      binding.placement_epoch = plan_.placement_epoch;
+      binding.manifest = manifest_.encode();
+      co_await lane.client->register_shard(model, std::move(binding));
+      copy.registered = true;
+    }
+  } catch (const std::exception& e) {
+    PLOG_INFO(kLog, "registration on {} failed: {}", lane.endpoint, e.what());
+    mark_lane_down(lane);
+  }
+}
+
+sim::SubTask<> ClusterClient::register_model(dnn::Model& model) {
+  PORTUS_CHECK(!registered_, "cluster client already holds a registered model");
+  model_name_ = model.name();
+
+  auto& tensors = model.tensors();
+  std::vector<Bytes> sizes;
+  std::vector<std::string> names;
+  sizes.reserve(tensors.size());
+  names.reserve(tensors.size());
+  for (auto& t : tensors) {
+    sizes.push_back(t.byte_size());
+    names.push_back(t.name());
+  }
+
+  plan_ = Placement::compute(model_name_, sizes,
+                             static_cast<std::uint32_t>(lanes_.size()), config_.replicas,
+                             config_.placement_epoch);
+  manifest_ = ShardManifest::from_plan(plan_, config_.endpoints, names, sizes);
+
+  // Materialize the copy table: one entry per (shard, replica) placement,
+  // indexed into each lane's serial work list. Empty shards (fewer tensors
+  // than daemons) place nothing.
+  copies_.clear();
+  for (auto& lane : lanes_) lane.copy_ids.clear();
+  for (std::uint32_t s = 0; s < plan_.shard_daemons.size(); ++s) {
+    if (plan_.shard_tensors[s].empty()) continue;
+    const auto& ring = plan_.shard_daemons[s];
+    for (std::uint32_t r = 0; r < ring.size(); ++r) {
+      Copy copy{.shard = s, .replica = r, .daemon = ring[r]};
+      lanes_[copy.daemon].copy_ids.push_back(copies_.size());
+      copies_.push_back(copy);
+    }
+  }
+
+  std::vector<sim::Process> procs;
+  procs.reserve(lanes_.size());
+  for (auto& lane : lanes_) {
+    if (lane.copy_ids.empty()) continue;
+    auto p = lane_register(lane, model);
+    procs.push_back(cluster_.engine().spawn(std::move(p)));
+  }
+  for (auto& p : procs) co_await p.join();  // lane errors are absorbed in-lane
+
+  // Tolerate dead lanes only while every shard keeps >= 1 registered copy.
+  for (std::uint32_t s = 0; s < plan_.shard_tensors.size(); ++s) {
+    if (plan_.shard_tensors[s].empty()) continue;
+    const bool covered = std::any_of(copies_.begin(), copies_.end(), [&](const Copy& c) {
+      return c.shard == s && c.registered && lanes_[c.daemon].up;
+    });
+    if (!covered) {
+      throw ResourceExhausted(
+          strf("shard {} of {} has no live daemon; cannot register", s, model_name_));
+    }
+  }
+  registered_ = true;
+  PLOG_DEBUG(kLog, "registered {} across {} daemons ({} copies, R={})", model_name_,
+             lanes_.size(), copies_.size(), config_.replicas);
+}
+
+sim::Process ClusterClient::lane_checkpoint(Lane& lane, std::uint64_t iteration,
+                                            std::uint64_t* round_max,
+                                            std::vector<bool>* shard_ok, bool* any_miss) {
+  for (const auto id : lane.copy_ids) {
+    auto& copy = copies_[id];
+    if (!copy.registered || !lane.up) {
+      *any_miss = true;
+      continue;
+    }
+    try {
+      const std::string key = shard_key(model_name_, copy.shard);
+      const auto epoch = co_await lane.client->checkpoint_named(key, iteration);
+      copy.epoch = epoch;
+      (*shard_ok)[copy.shard] = true;
+      *round_max = std::max(*round_max, epoch);
+    } catch (const Disconnected& e) {
+      PLOG_INFO(kLog, "checkpoint of shard {} on {} lost: {}", copy.shard, lane.endpoint,
+                e.what());
+      mark_lane_down(lane);
+      *any_miss = true;
+    } catch (const std::exception& e) {
+      PLOG_INFO(kLog, "checkpoint of shard {} on {} failed: {}", copy.shard, lane.endpoint,
+                e.what());
+      *any_miss = true;
+    }
+  }
+}
+
+sim::SubTask<ClusterClient::CheckpointResult> ClusterClient::checkpoint(
+    std::uint64_t iteration) {
+  PORTUS_CHECK(registered_, "register_model before checkpoint");
+  std::vector<bool> shard_ok(plan_.shard_tensors.size(), false);
+  bool any_miss = false;
+  std::uint64_t round_max = 0;
+
+  std::vector<sim::Process> procs;
+  procs.reserve(lanes_.size());
+  for (auto& lane : lanes_) {
+    if (lane.copy_ids.empty()) continue;
+    auto p = lane_checkpoint(lane, iteration, &round_max, &shard_ok, &any_miss);
+    procs.push_back(cluster_.engine().spawn(std::move(p)));
+  }
+  for (auto& p : procs) co_await p.join();
+
+  for (std::uint32_t s = 0; s < plan_.shard_tensors.size(); ++s) {
+    if (plan_.shard_tensors[s].empty()) continue;
+    if (!shard_ok[s]) {
+      throw ResourceExhausted(
+          strf("checkpoint iteration {} lost shard {} of {}: no copy committed", iteration,
+               s, model_name_));
+    }
+  }
+
+  ++stats_.checkpoints;
+  stats_.last_epoch = std::max(stats_.last_epoch, round_max);
+  if (any_miss) ++stats_.degraded_checkpoints;
+  co_return CheckpointResult{.epoch = round_max, .degraded = any_miss};
+}
+
+sim::Process ClusterClient::lane_restore(Lane& lane, std::vector<RestoreJob*> jobs,
+                                         std::uint64_t* max_epoch) {
+  for (auto* job : jobs) {
+    if (!lane.up) break;  // lane died earlier in this wave
+    auto& copy = copies_[job->copy_id];
+    try {
+      const std::string key = shard_key(model_name_, copy.shard);
+      const auto epoch = co_await lane.client->restore_named(key, job->required_epoch);
+      job->done = true;
+      copy.epoch = std::max(copy.epoch, epoch);
+      *max_epoch = std::max(*max_epoch, epoch);
+    } catch (const Disconnected& e) {
+      PLOG_INFO(kLog, "restore of shard {} from {} lost: {}", copy.shard, lane.endpoint,
+                e.what());
+      mark_lane_down(lane);
+    } catch (const std::exception& e) {
+      // Stale epoch (daemon refused the floor) or missing record: this copy
+      // is unusable, the wave loop moves to the next one.
+      PLOG_INFO(kLog, "restore of shard {} from {} refused: {}", copy.shard, lane.endpoint,
+                e.what());
+    }
+  }
+}
+
+sim::SubTask<ClusterClient::RestoreResult> ClusterClient::restore() {
+  PORTUS_CHECK(registered_, "register_model before restore");
+  const auto shard_count = plan_.shard_tensors.size();
+
+  // Replica-epoch floor: a copy that missed later checkpoints (its daemon
+  // was down or hung for them) holds stale data, and its daemon refuses to
+  // serve below this floor — the shard then re-routes to a fresh copy.
+  std::vector<std::uint64_t> target(shard_count, 0);
+  for (const auto& c : copies_) {
+    target[c.shard] = std::max(target[c.shard], c.epoch);
+  }
+
+  std::vector<bool> done(shard_count, false);
+  std::vector<bool> tried(copies_.size(), false);
+  bool degraded = false;
+  std::uint32_t rerouted = 0;
+  std::uint64_t max_epoch = 0;
+
+  while (true) {
+    // Assign every unrestored shard its next untried live copy, in manifest
+    // (primary-first) order.
+    std::vector<RestoreJob> jobs;
+    std::vector<std::uint32_t> job_shard;
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+      if (done[s] || plan_.shard_tensors[s].empty()) continue;
+      std::optional<std::size_t> pick;
+      for (std::size_t id = 0; id < copies_.size(); ++id) {
+        const auto& c = copies_[id];
+        if (c.shard != s || tried[id] || !c.registered || !lanes_[c.daemon].up) continue;
+        if (!pick.has_value() || c.replica < copies_[*pick].replica) pick = id;
+      }
+      if (!pick.has_value()) {
+        throw NotFound(strf("no live copy of shard {} of {} at epoch >= {}", s, model_name_,
+                            target[s]));
+      }
+      tried[*pick] = true;
+      jobs.push_back(RestoreJob{.copy_id = *pick,
+                                .required_epoch = target[s],
+                                .done = false,
+                                .rerouted = copies_[*pick].replica != 0});
+      job_shard.push_back(s);
+    }
+    if (jobs.empty()) break;
+
+    // Group this wave's jobs by lane; lanes run in parallel.
+    std::map<std::uint32_t, std::vector<RestoreJob*>> by_lane;
+    for (auto& job : jobs) by_lane[copies_[job.copy_id].daemon].push_back(&job);
+    std::vector<sim::Process> procs;
+    procs.reserve(by_lane.size());
+    for (auto& [lane_idx, lane_jobs] : by_lane) {
+      auto p = lane_restore(lanes_[lane_idx], lane_jobs, &max_epoch);
+      procs.push_back(cluster_.engine().spawn(std::move(p)));
+    }
+    for (auto& p : procs) co_await p.join();
+
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (!jobs[j].done) {
+        degraded = true;  // this shard needed (at least) another wave
+        continue;
+      }
+      done[job_shard[j]] = true;
+      if (jobs[j].rerouted) {
+        degraded = true;
+        ++rerouted;
+      }
+    }
+  }
+
+  ++stats_.restores;
+  if (degraded) ++stats_.degraded_restores;
+  stats_.rerouted_shards += rerouted;
+  stats_.last_epoch = std::max(stats_.last_epoch, max_epoch);
+  co_return RestoreResult{.epoch = max_epoch, .degraded = degraded,
+                          .rerouted_shards = rerouted};
+}
+
+}  // namespace portus::core::cluster

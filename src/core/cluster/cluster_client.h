@@ -1,0 +1,136 @@
+// ClusterClient: one training process checkpointing to N Portus daemons.
+//
+// Wraps one PortusClient per daemon ("lane") and fans register / checkpoint
+// / restore out across them — parallel across lanes, serial within a lane
+// (each PortusClient is a one-op-at-a-time control channel). The tensor →
+// shard → daemons map comes from Placement::compute, so any process that
+// knows the ring config finds its shards without a metadata service.
+//
+// Failure model: a daemon can crash (sockets die instantly) or hang
+// (detected only by the per-op timeout). Either way the lane is marked
+// down and the op degrades:
+//   - checkpoint: succeeds as long as every shard commits on >= 1 copy;
+//     the result is flagged degraded and the lost copies simply stop
+//     advancing their epochs.
+//   - restore: shards whose primary lane is gone (or holds a stale epoch —
+//     the daemon refuses a required_epoch it cannot meet) are re-routed to
+//     replica copies, in manifest order, until every shard is back.
+//     Completes with degraded=true; throws only when some shard has no
+//     live copy at the required epoch left at all.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/cluster/manifest.h"
+#include "core/cluster/placement.h"
+
+namespace portus::core::cluster {
+
+class ClusterClient {
+ public:
+  struct Config {
+    std::vector<std::string> endpoints;  // the static daemon ring, in order
+    std::uint32_t replicas = 2;          // copies per shard (clamped to ring size)
+    int stripes = 1;                     // datapath QPs per registration
+    std::uint64_t placement_epoch = 0;   // bump to recompute the ring rotation
+    Duration op_timeout{0};              // 0 = never time out (crash-only detection)
+  };
+
+  struct CheckpointResult {
+    std::uint64_t epoch = 0;
+    bool degraded = false;  // some copy missed the round (all shards still committed)
+  };
+
+  struct RestoreResult {
+    std::uint64_t epoch = 0;
+    bool degraded = false;          // at least one shard came from a non-primary copy
+    std::uint32_t rerouted_shards = 0;
+  };
+
+  struct Stats {
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t degraded_checkpoints = 0;
+    std::uint64_t degraded_restores = 0;
+    std::uint64_t rerouted_shards = 0;
+    std::uint64_t lane_failures = 0;  // lanes marked down (crash or timeout)
+    std::uint64_t last_epoch = 0;
+  };
+
+  ClusterClient(net::Cluster& cluster, net::Node& client_node, gpu::GpuDevice& gpu,
+                QpRendezvous& rendezvous, Config config);
+
+  // Compute the placement for `model`, dial every lane, and register each
+  // shard copy on its daemon (manifest attached to every registration).
+  // Lanes that are already dead are tolerated as long as every shard keeps
+  // at least one registered copy; otherwise throws.
+  sim::SubTask<> register_model(dnn::Model& model);
+
+  // Checkpoint every shard copy. Returns the round's committed epoch (the
+  // same on every copy that took part). Throws if any shard committed on
+  // zero copies.
+  sim::SubTask<CheckpointResult> checkpoint(std::uint64_t iteration = 0);
+
+  // Restore every shard, re-routing to replicas as needed (see above).
+  sim::SubTask<RestoreResult> restore();
+
+  const Placement::Plan& plan() const { return plan_; }
+  const ShardManifest& manifest() const { return manifest_; }
+  const Stats& stats() const { return stats_; }
+
+  std::size_t lane_count() const { return lanes_.size(); }
+  bool lane_up(std::size_t i) const { return lanes_.at(i).up; }
+  const std::string& lane_endpoint(std::size_t i) const { return lanes_.at(i).endpoint; }
+  PortusClient& lane_client(std::size_t i) { return *lanes_.at(i).client; }
+
+ private:
+  // One placed copy of one shard. `daemon` is both the ring position and
+  // the lane index.
+  struct Copy {
+    std::uint32_t shard = 0;
+    std::uint32_t replica = 0;
+    std::uint32_t daemon = 0;
+    bool registered = false;
+    std::uint64_t epoch = 0;  // newest epoch this copy is known to hold
+  };
+
+  struct Lane {
+    std::string endpoint;
+    std::unique_ptr<PortusClient> client;
+    std::vector<std::size_t> copy_ids;  // indices into copies_
+    bool up = true;
+  };
+
+  struct RestoreJob {
+    std::size_t copy_id = 0;
+    std::uint64_t required_epoch = 0;
+    bool done = false;
+    bool rerouted = false;
+  };
+
+  sim::Process lane_register(Lane& lane, dnn::Model& model);
+  sim::Process lane_checkpoint(Lane& lane, std::uint64_t iteration, std::uint64_t* round_max,
+                               std::vector<bool>* shard_ok, bool* any_miss);
+  sim::Process lane_restore(Lane& lane, std::vector<RestoreJob*> jobs, std::uint64_t* max_epoch);
+
+  void mark_lane_down(Lane& lane);
+
+  net::Cluster& cluster_;
+  net::Node& node_;
+  gpu::GpuDevice& gpu_;
+  QpRendezvous& rendezvous_;
+  Config config_;
+  std::string model_name_;
+  Placement::Plan plan_;
+  ShardManifest manifest_;
+  std::vector<Copy> copies_;
+  std::vector<Lane> lanes_;
+  Stats stats_;
+  bool registered_ = false;
+};
+
+}  // namespace portus::core::cluster

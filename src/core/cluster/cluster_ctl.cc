@@ -1,0 +1,70 @@
+#include "core/cluster/cluster_ctl.h"
+
+#include <optional>
+#include <set>
+
+#include "common/strformat.h"
+
+namespace portus::core::cluster {
+
+ClusterCtl::DaemonRow ClusterCtl::inspect(PortusDaemon& daemon) {
+  DaemonRow row;
+  row.endpoint = daemon.config().endpoint;
+  row.up = !daemon.killed();
+
+  std::set<std::string> models;
+  for (const auto& name : daemon.model_table().names()) {
+    const MIndex* live = daemon.find_live_index(name);
+    std::optional<MIndex> loaded;
+    if (live == nullptr) loaded.emplace(daemon.load_index(name));
+    const MIndex& index = live != nullptr ? *live : *loaded;
+
+    if (index.sharded()) ++row.shard_copies;
+    row.stored_bytes += index.slot_size();
+    // Strip the "#s<k>" suffix of shard-scoped keys to count models once.
+    const auto hash = name.rfind("#s");
+    models.insert(hash == std::string::npos ? name : name.substr(0, hash));
+  }
+  row.models = models.size();
+
+  const auto& s = daemon.stats();
+  row.registrations = s.registrations;
+  row.checkpoints = s.checkpoints;
+  row.restores = s.restores;
+  row.failed_ops = s.failed_ops;
+  row.mean_window = s.mean_window();
+  row.peak_window = s.peak_window;
+  return row;
+}
+
+std::string ClusterCtl::render_status(std::span<PortusDaemon* const> daemons,
+                                      const ClusterClient* client) {
+  std::string out =
+      strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}\n", "DAEMON", "STATE",
+           "SHARDS", "MODELS", "BYTES", "REGS", "CKPTS", "RSTRS", "FAILED", "PIPELINE");
+  std::size_t copies = 0;
+  Bytes bytes = 0;
+  for (auto* d : daemons) {
+    const auto row = inspect(*d);
+    copies += row.shard_copies;
+    bytes += row.stored_bytes;
+    out += strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}\n", row.endpoint,
+                row.up ? "up" : "DOWN", row.shard_copies, row.models,
+                format_bytes(row.stored_bytes), row.registrations, row.checkpoints,
+                row.restores, row.failed_ops,
+                strf("{:.2f}/{}", row.mean_window, row.peak_window));
+  }
+  out += strf("total: {} daemons, {} shard copies, {}\n", daemons.size(), copies,
+              format_bytes(bytes));
+  if (client != nullptr) {
+    const auto& cs = client->stats();
+    out += strf(
+        "client: {} checkpoints ({} degraded), {} restores ({} degraded), "
+        "{} shards re-routed, {} lane failures, epoch {}\n",
+        cs.checkpoints, cs.degraded_checkpoints, cs.restores, cs.degraded_restores,
+        cs.rerouted_shards, cs.lane_failures, cs.last_epoch);
+  }
+  return out;
+}
+
+}  // namespace portus::core::cluster

@@ -1,0 +1,45 @@
+// ClusterCtl: fleet-wide observability (portusctl cluster-status).
+//
+// Where Portusctl inspects ONE daemon's PMEM, ClusterCtl walks every daemon
+// of a Portus-Cluster ring and aggregates the per-daemon view into a single
+// table: shard copies hosted, distinct models, stored bytes, operation
+// counters, pipeline occupancy, and liveness. An optional ClusterClient
+// contributes the client-side degradation counters (lane failures, degraded
+// restores, re-routed shards) as a footer.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cluster/cluster_client.h"
+#include "core/daemon/daemon.h"
+
+namespace portus::core::cluster {
+
+class ClusterCtl {
+ public:
+  struct DaemonRow {
+    std::string endpoint;
+    bool up = false;
+    std::size_t shard_copies = 0;  // shard-scoped ModelTable entries
+    std::size_t models = 0;        // distinct models with >= 1 copy here
+    Bytes stored_bytes = 0;        // sum of copy slot sizes (one version each)
+    std::uint64_t registrations = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t failed_ops = 0;
+    double mean_window = 0.0;  // pipeline occupancy
+    int peak_window = 0;
+  };
+
+  // Snapshot one daemon (walks its ModelTable; killed daemons still answer
+  // — their PMEM state outlives the sockets).
+  static DaemonRow inspect(PortusDaemon& daemon);
+
+  // The `portusctl cluster-status` table. `client` may be null.
+  static std::string render_status(std::span<PortusDaemon* const> daemons,
+                                   const ClusterClient* client = nullptr);
+};
+
+}  // namespace portus::core::cluster

@@ -1,0 +1,116 @@
+#include "core/cluster/manifest.h"
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+#include "common/error.h"
+
+namespace portus::core::cluster {
+
+ShardManifest ShardManifest::from_plan(const Placement::Plan& plan,
+                                       std::span<const std::string> endpoints,
+                                       std::span<const std::string> tensor_names,
+                                       std::span<const Bytes> tensor_sizes) {
+  PORTUS_CHECK_ARG(endpoints.size() == plan.daemon_count,
+                   "manifest endpoint list does not match the plan's ring size");
+  PORTUS_CHECK_ARG(tensor_names.size() == plan.tensor_shard.size() &&
+                       tensor_sizes.size() == plan.tensor_shard.size(),
+                   "manifest tensor metadata does not match the plan");
+  ShardManifest m;
+  m.model_name = plan.model_name;
+  m.placement_epoch = plan.placement_epoch;
+  m.plan_digest = plan.digest();
+  m.daemon_count = plan.daemon_count;
+  m.replicas = plan.replicas;
+  m.endpoints.assign(endpoints.begin(), endpoints.end());
+  m.tensors.reserve(tensor_names.size());
+  for (std::size_t i = 0; i < tensor_names.size(); ++i) {
+    m.tensors.push_back(
+        TensorEntry{tensor_names[i], tensor_sizes[i], plan.tensor_shard[i]});
+  }
+  m.shard_daemons = plan.shard_daemons;
+  return m;
+}
+
+std::vector<std::byte> ShardManifest::encode() const {
+  BinaryWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.str(model_name);
+  w.u64(placement_epoch);
+  w.u64(plan_digest);
+  w.u32(daemon_count);
+  w.u32(replicas);
+  w.u32(static_cast<std::uint32_t>(endpoints.size()));
+  for (const auto& e : endpoints) w.str(e);
+  w.u32(static_cast<std::uint32_t>(tensors.size()));
+  for (const auto& t : tensors) {
+    w.str(t.name);
+    w.u64(t.size);
+    w.u32(t.shard);
+  }
+  w.u32(static_cast<std::uint32_t>(shard_daemons.size()));
+  for (const auto& copies : shard_daemons) {
+    w.u32(static_cast<std::uint32_t>(copies.size()));
+    for (const auto d : copies) w.u32(d);
+  }
+  w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
+  return w.take();
+}
+
+ShardManifest ShardManifest::decode(std::span<const std::byte> raw) {
+  if (raw.size() < 4) throw Corruption("shard manifest truncated");
+  const auto stored_crc = [&] {
+    BinaryReader tr{raw.subspan(raw.size() - 4)};
+    return tr.u32();
+  }();
+  if (stored_crc != Crc32::of(raw.data(), raw.size() - 4)) {
+    throw Corruption("shard manifest CRC mismatch");
+  }
+
+  BinaryReader r{raw.first(raw.size() - 4)};
+  if (r.u32() != kMagic) throw Corruption("shard manifest magic mismatch");
+  if (r.u16() != kVersion) throw Corruption("shard manifest version mismatch");
+  ShardManifest m;
+  m.model_name = r.str();
+  m.placement_epoch = r.u64();
+  m.plan_digest = r.u64();
+  m.daemon_count = r.u32();
+  m.replicas = r.u32();
+  const auto n_endpoints = r.u32();
+  if (n_endpoints != m.daemon_count || n_endpoints > 4096) {
+    throw Corruption("implausible endpoint list in shard manifest");
+  }
+  m.endpoints.resize(n_endpoints);
+  for (auto& e : m.endpoints) e = r.str();
+  const auto n_tensors = r.u32();
+  if (n_tensors > 1u << 20) throw Corruption("implausible tensor count in shard manifest");
+  m.tensors.resize(n_tensors);
+  for (auto& t : m.tensors) {
+    t.name = r.str();
+    t.size = r.u64();
+    t.shard = r.u32();
+    if (t.shard >= m.daemon_count) throw Corruption("manifest tensor maps to no shard");
+  }
+  const auto n_shards = r.u32();
+  if (n_shards != m.daemon_count) throw Corruption("manifest shard map size mismatch");
+  m.shard_daemons.resize(n_shards);
+  for (auto& copies : m.shard_daemons) {
+    const auto n_copies = r.u32();
+    if (n_copies == 0 || n_copies > m.daemon_count) {
+      throw Corruption("implausible replica list in shard manifest");
+    }
+    copies.resize(n_copies);
+    for (auto& d : copies) {
+      d = r.u32();
+      if (d >= m.daemon_count) throw Corruption("manifest replica beyond the ring");
+    }
+  }
+  return m;
+}
+
+const std::vector<std::uint32_t>& ShardManifest::copies_of(std::uint32_t shard) const {
+  PORTUS_CHECK_ARG(shard < shard_daemons.size(), "no such shard in manifest");
+  return shard_daemons[shard];
+}
+
+}  // namespace portus::core::cluster

@@ -1,0 +1,61 @@
+// ShardManifest: the persisted description of a sharded model's placement.
+//
+// Every shard copy's registration carries the encoded manifest, and the
+// daemon stores it inside that copy's MIndex record on PMEM. The manifest
+// is the same on every copy, so losing up to R-1 daemons still leaves the
+// complete ownership map on each survivor — an operator (or a client with
+// no ring config) can read ONE daemon and learn, for every tensor of the
+// model, which shard owns it and which ring positions hold that shard.
+//
+// Wire/PMEM layout (little-endian, CRC-framed like the other PMEM blobs):
+//   [u32 magic "PSMF"][u16 version]
+//   [str model_name][u64 placement_epoch][u64 plan_digest]
+//   [u32 daemon_count][u32 replicas][u32 endpoints...][str each endpoint]
+//   [u32 tensor_count][str name | u64 size | u32 shard]...
+//   [u32 shard_count][u32 copies | u32 daemon...]...
+//   [u32 crc over everything above]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/cluster/placement.h"
+
+namespace portus::core::cluster {
+
+struct ShardManifest {
+  static constexpr std::uint32_t kMagic = 0x464D5350;  // "PSMF"
+  static constexpr std::uint16_t kVersion = 1;
+
+  struct TensorEntry {
+    std::string name;
+    Bytes size = 0;
+    std::uint32_t shard = 0;
+  };
+
+  std::string model_name;
+  std::uint64_t placement_epoch = 0;
+  std::uint64_t plan_digest = 0;  // Placement::Plan::digest() at write time
+  std::uint32_t daemon_count = 0;
+  std::uint32_t replicas = 0;
+  std::vector<std::string> endpoints;  // the static ring, in order
+  std::vector<TensorEntry> tensors;
+  std::vector<std::vector<std::uint32_t>> shard_daemons;  // primary first
+
+  static ShardManifest from_plan(const Placement::Plan& plan,
+                                 std::span<const std::string> endpoints,
+                                 std::span<const std::string> tensor_names,
+                                 std::span<const Bytes> tensor_sizes);
+
+  std::vector<std::byte> encode() const;
+  // Validates magic, version, and CRC; throws Corruption on any mismatch.
+  static ShardManifest decode(std::span<const std::byte> raw);
+
+  // Ring positions holding `shard`, primary first (degraded-restore order).
+  const std::vector<std::uint32_t>& copies_of(std::uint32_t shard) const;
+};
+
+}  // namespace portus::core::cluster

@@ -1,0 +1,102 @@
+#include "core/cluster/placement.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/strformat.h"
+
+namespace portus::core::cluster {
+
+std::uint64_t Placement::fnv1a(std::span<const std::byte> data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const auto b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::uint64_t hash_u64(std::uint64_t h, std::uint64_t v) {
+  std::byte raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::byte>(v >> (8 * i));
+  return Placement::fnv1a(raw, h);
+}
+
+std::uint64_t hash_str(std::uint64_t h, const std::string& s) {
+  return Placement::fnv1a(std::as_bytes(std::span{s.data(), s.size()}), h);
+}
+
+}  // namespace
+
+Placement::Plan Placement::compute(const std::string& model_name,
+                                   std::span<const Bytes> tensor_sizes,
+                                   std::uint32_t daemon_count, std::uint32_t replicas,
+                                   std::uint64_t placement_epoch) {
+  PORTUS_CHECK_ARG(daemon_count >= 1, "placement needs at least one daemon");
+  PORTUS_CHECK_ARG(!tensor_sizes.empty(), "placement over an empty model");
+  PORTUS_CHECK_ARG(replicas >= 1, "replication factor must be >= 1");
+  replicas = std::min(replicas, daemon_count);
+
+  Plan plan;
+  plan.model_name = model_name;
+  plan.placement_epoch = placement_epoch;
+  plan.daemon_count = daemon_count;
+  plan.replicas = replicas;
+  plan.shard_tensors.resize(daemon_count);
+  plan.shard_bytes.assign(daemon_count, 0);
+  plan.tensor_shard.resize(tensor_sizes.size());
+
+  // LPT bin packing: largest tensor first, into the lightest shard; ties
+  // break on the lower shard id so the order is total and deterministic.
+  std::vector<std::uint32_t> order(tensor_sizes.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return tensor_sizes[a] > tensor_sizes[b];
+  });
+  for (const auto t : order) {
+    std::uint32_t best = 0;
+    for (std::uint32_t s = 1; s < daemon_count; ++s) {
+      if (plan.shard_bytes[s] < plan.shard_bytes[best]) best = s;
+    }
+    plan.tensor_shard[t] = best;
+    plan.shard_bytes[best] += tensor_sizes[t];
+  }
+  for (std::uint32_t t = 0; t < plan.tensor_shard.size(); ++t) {
+    plan.shard_tensors[plan.tensor_shard[t]].push_back(t);
+  }
+
+  // Ring walk: shard k's primary at rot+k, replicas on the next R-1
+  // positions. The rotation spreads different models (and re-placements
+  // after a ring-epoch bump) across the ring.
+  const auto rot = static_cast<std::uint32_t>(
+      hash_u64(hash_str(0xcbf29ce484222325ull, model_name), placement_epoch) %
+      daemon_count);
+  plan.shard_daemons.resize(daemon_count);
+  for (std::uint32_t s = 0; s < daemon_count; ++s) {
+    for (std::uint32_t r = 0; r < replicas; ++r) {
+      plan.shard_daemons[s].push_back((rot + s + r) % daemon_count);
+    }
+  }
+  return plan;
+}
+
+std::uint64_t Placement::Plan::digest() const {
+  std::uint64_t h = hash_str(0xcbf29ce484222325ull, model_name);
+  h = hash_u64(h, placement_epoch);
+  h = hash_u64(h, daemon_count);
+  h = hash_u64(h, replicas);
+  for (const auto s : tensor_shard) h = hash_u64(h, s);
+  for (const auto& daemons : shard_daemons) {
+    for (const auto d : daemons) h = hash_u64(h, d);
+  }
+  for (const auto b : shard_bytes) h = hash_u64(h, b);
+  return h;
+}
+
+std::string shard_key(const std::string& model_name, std::uint32_t shard_id) {
+  return strf("{}#s{}", model_name, shard_id);
+}
+
+}  // namespace portus::core::cluster

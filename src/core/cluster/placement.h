@@ -1,0 +1,69 @@
+// Placement: which daemon owns which tensors of a sharded model.
+//
+// The policy is size-balanced striping over a static daemon ring: the model
+// is cut into one shard per daemon, tensors are assigned to shards by
+// longest-processing-time bin packing (largest tensor to the lightest
+// shard), and shard k's copies live on ring positions rot+k, rot+k+1, ...
+// rot+k+R-1 (mod N), where the rotation derives from an FNV hash of the
+// model name so concurrent tenants do not all hammer daemon 0.
+//
+// Everything is a pure function of (model name, tensor sizes, ring size,
+// replication factor, placement epoch) — two processes that agree on the
+// ring config compute byte-identical plans, so restore after a full client
+// restart needs no metadata service: the client just recomputes where its
+// shards are. The persisted ShardManifest (manifest.h) is the belt to this
+// suspenders — it lets an operator reconstruct ownership from any one
+// surviving daemon even when the ring config is lost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace portus::core::cluster {
+
+struct Placement {
+  struct Plan {
+    std::string model_name;
+    std::uint64_t placement_epoch = 0;
+    std::uint32_t daemon_count = 0;
+    std::uint32_t replicas = 0;
+    // tensor index -> owning shard id.
+    std::vector<std::uint32_t> tensor_shard;
+    // shard id -> tensor indices, ascending (registration order within the
+    // shard is the model's tensor order, so a shard's MIndex layout is
+    // itself deterministic).
+    std::vector<std::vector<std::uint32_t>> shard_tensors;
+    // shard id -> daemon ring positions holding a copy, primary first.
+    std::vector<std::vector<std::uint32_t>> shard_daemons;
+    // shard id -> payload bytes (balance metric).
+    std::vector<Bytes> shard_bytes;
+
+    // Order-sensitive digest over every assignment; equal digests mean the
+    // plans route every byte identically (determinism tests, manifests).
+    std::uint64_t digest() const;
+  };
+
+  // `replicas` is clamped to daemon_count (cannot place two copies of one
+  // shard on the same daemon). Zero-size tensors are legal and stay with
+  // the shard the balancer gives them.
+  static Plan compute(const std::string& model_name, std::span<const Bytes> tensor_sizes,
+                      std::uint32_t daemon_count, std::uint32_t replicas,
+                      std::uint64_t placement_epoch);
+
+  // 64-bit FNV-1a (the ring-rotation and digest hash).
+  static std::uint64_t fnv1a(std::span<const std::byte> data,
+                             std::uint64_t seed = 0xcbf29ce484222325ull);
+};
+
+// The shard-scoped ModelTable key: one daemon may host several shard copies
+// of the same model (its own primary plus replicas of neighbours), and each
+// copy gets its own MIndex under this key. Replicas of the same shard use
+// the same key on *different* daemons, which is what lets a degraded
+// restore re-target a replica without any renaming.
+std::string shard_key(const std::string& model_name, std::uint32_t shard_id);
+
+}  // namespace portus::core::cluster

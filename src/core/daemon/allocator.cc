@@ -26,13 +26,23 @@ PmemAllocator::PmemAllocator(pmem::PmemDevice& device, Config config)
 
 void PmemAllocator::persist_entry(std::uint32_t index) {
   const Entry& e = *entries_[index];
-  BinaryWriter w;
-  w.u64(e.offset);
-  w.u64(e.size);
-  w.u32(e.state.load(std::memory_order_acquire));
-  w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
-  device_.write(table_slot_offset(index), w.buffer());
-  device_.persist(table_slot_offset(index), kEntrySize);
+  // Write-through races with a concurrent claim/free of the same entry:
+  // free() may persist FREE while an alloc() that just reused the extent
+  // persists LIVE, and whichever lands last would wedge the table out of
+  // sync with the DRAM mirror. Re-persist until the state we wrote is
+  // still the live state — the loser of the CAS race re-writes the
+  // winner's state, so the table always converges to the mirror.
+  while (true) {
+    const auto state = e.state.load(std::memory_order_acquire);
+    BinaryWriter w;
+    w.u64(e.offset);
+    w.u64(e.size);
+    w.u32(state);
+    w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
+    device_.write(table_slot_offset(index), w.buffer());
+    device_.persist(table_slot_offset(index), kEntrySize);
+    if (e.state.load(std::memory_order_acquire) == state) return;
+  }
 }
 
 Bytes PmemAllocator::alloc(Bytes size) {

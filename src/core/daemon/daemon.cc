@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/strformat.h"
 #include "core/daemon/slots.h"
 
 namespace portus::core {
@@ -34,11 +35,38 @@ PortusDaemon::PortusDaemon(net::Cluster& cluster, net::Node& storage_node,
   workers_ = std::make_unique<sim::SimSemaphore>(cluster.engine(), config_.workers);
 }
 
+PortusDaemon::~PortusDaemon() {
+  if (config_.faults != nullptr) config_.faults->deregister_target(config_.endpoint);
+}
+
 void PortusDaemon::start() {
   PORTUS_CHECK(!started_, "daemon already started");
   started_ = true;
   cluster_.listen(config_.endpoint);
   cluster_.engine().spawn(accept_loop());
+  if (config_.faults != nullptr) {
+    config_.faults->register_target(config_.endpoint,
+                                    [this](sim::FaultMode mode) { kill(mode); });
+  }
+}
+
+void PortusDaemon::kill(sim::FaultMode mode) {
+  if (killed_) return;
+  killed_ = true;
+  if (mode == sim::FaultMode::kHang) {
+    // Gray failure: sockets stay up, requests vanish into the void.
+    hung_ = true;
+    PLOG_INFO(kLog, "FAULT: {} hung (mute, connections stay open)", config_.endpoint);
+    return;
+  }
+  // Crash-stop: refuse new connections and drop the live ones.
+  cluster_.endpoint(config_.endpoint).close();
+  for (auto& weak : client_sockets_) {
+    if (auto socket = weak.lock()) socket->close();
+  }
+  client_sockets_.clear();
+  PLOG_INFO(kLog, "FAULT: {} crashed (listener + {} sessions closed)", config_.endpoint,
+            sessions_.size());
 }
 
 void PortusDaemon::recover() {
@@ -84,23 +112,38 @@ sim::Process PortusDaemon::accept_loop() {
 }
 
 sim::Process PortusDaemon::session_loop(std::shared_ptr<net::TcpSocket> socket) {
+  std::erase_if(client_sockets_, [](const auto& w) { return w.expired(); });
+  client_sockets_.push_back(socket);
   try {
     for (;;) {
       const auto wire = co_await socket->recv();
+      if (hung_) continue;  // gray failure: swallow the request, answer nothing
       switch (decode_type(wire)) {
         case MsgType::kRegisterModel: {
-          auto reply = co_await handle_register(decode_register_model(wire));
-          socket->send(encode(reply));
+          RegisterModelMsg msg;
+          try {
+            msg = decode_register_model(wire);
+          } catch (const ProtocolMismatch& e) {
+            // Explicit rejection instead of a dropped connection: the stale
+            // peer gets told exactly why, in the one ack layout that is
+            // stable across protocol generations (magic+version lead it).
+            ++stats_.rejected_protocol;
+            ++stats_.failed_ops;
+            socket->send(encode(RegisterAckMsg{.ok = false, .error = e.what()}));
+            break;
+          }
+          auto reply = co_await handle_register(std::move(msg));
+          if (!hung_) socket->send(encode(reply));
           break;
         }
         case MsgType::kCheckpointReq: {
           auto reply = co_await handle_checkpoint(decode_checkpoint_req(wire));
-          socket->send(encode(reply));
+          if (!hung_) socket->send(encode(reply));
           break;
         }
         case MsgType::kRestoreReq: {
           auto reply = co_await handle_restore(decode_restore_req(wire));
-          socket->send(encode(reply));
+          if (!hung_) socket->send(encode(reply));
           break;
         }
         case MsgType::kFinishJob: {
@@ -171,8 +214,10 @@ sim::SubTask<RegisterAckMsg> PortusDaemon::handle_register(RegisterModelMsg msg)
     }
 
     sessions_.erase(msg.model_name);
+    const bool sharded = msg.sharded();
     sessions_.emplace(msg.model_name, std::move(session));
     ++stats_.registrations;
+    if (sharded) ++stats_.shard_registrations;
     ack.ok = true;
     ack.stripes = static_cast<std::uint32_t>(stripes);
     PLOG_DEBUG(kLog, "registered model {} ({} tensors, {} stripes)", msg.model_name,
@@ -286,6 +331,14 @@ sim::SubTask<RestoreDoneMsg> PortusDaemon::handle_restore(RestoreReqMsg msg) {
 
     const auto slot_idx = index.latest_done_slot();
     PORTUS_CHECK(slot_idx.has_value(), "no valid checkpoint version on PMEM");
+    // Replica-epoch floor: a copy that missed the last checkpoint (this
+    // daemon was down or hung while the others committed) must refuse
+    // rather than hand out stale tensors as if they were current.
+    if (msg.required_epoch != 0 && index.slot(*slot_idx).epoch < msg.required_epoch) {
+      throw NotFound(strf("newest DONE version of {} is epoch {}, caller requires >= {}",
+                          msg.model_name, index.slot(*slot_idx).epoch,
+                          msg.required_epoch));
+    }
     const auto* slot_mr = session.slot_mr[*slot_idx];
     PORTUS_CHECK(slot_mr != nullptr, "restore slot has no registered region");
 

@@ -34,6 +34,7 @@
 #include "net/cluster.h"
 #include "pmem/devdax.h"
 #include "rdma/fabric.h"
+#include "sim/fault.h"
 #include "sim/sync.h"
 #include "sim/trace.h"
 
@@ -58,13 +59,19 @@ class PortusDaemon {
     // Datapath QPs connected per session (bounded by what the client
     // offers); chunks ride the stripes round-robin.
     int stripes = 1;
+    // Fault injection: when set, start() registers this daemon as a kill
+    // target named `endpoint`, so tests/benches can crash or hang it at a
+    // chosen point in virtual time (sim/fault.h).
+    sim::FaultInjector* faults = nullptr;
   };
 
   struct Stats {
     std::uint64_t registrations = 0;
+    std::uint64_t shard_registrations = 0;  // subset with shard/replica identity
     std::uint64_t checkpoints = 0;
     std::uint64_t restores = 0;
     std::uint64_t failed_ops = 0;
+    std::uint64_t rejected_protocol = 0;  // magic/version mismatches answered
     Bytes bytes_pulled = 0;
     Bytes bytes_pushed = 0;
     // --- pipelined datapath observability ---
@@ -94,14 +101,25 @@ class PortusDaemon {
   PortusDaemon(net::Cluster& cluster, net::Node& storage_node, QpRendezvous& rendezvous)
       : PortusDaemon(cluster, storage_node, rendezvous, Config{}) {}
 
+  ~PortusDaemon();
+
   // Bind the endpoint and start accepting connections.
   void start();
+
+  // Fault hook (also reachable by name through Config::faults). kCrash
+  // closes the listener and every live session socket — clients see
+  // Disconnected immediately. kHang keeps everything open but drops all
+  // requests unanswered — clients only notice through their own timeouts.
+  // Checkpoint data on PMEM is untouched either way.
+  void kill(sim::FaultMode mode = sim::FaultMode::kCrash);
+  bool killed() const { return killed_; }
 
   // Rebuild DRAM state (ModelMap, allocator mirror) from PMEM after a
   // restart. Client sessions do not survive; clients re-register.
   void recover();
 
   const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
   ModelTable& model_table() { return *model_table_; }
   PmemAllocator& allocator() { return *allocator_; }
   pmem::PmemDevice& device() { return device_; }
@@ -148,8 +166,11 @@ class PortusDaemon {
   std::unique_ptr<sim::SimSemaphore> workers_;
   std::map<std::string, ModelSession> sessions_;
   std::set<std::string> finished_;
+  std::vector<std::weak_ptr<net::TcpSocket>> client_sockets_;  // kill() targets
   Stats stats_;
   bool started_ = false;
+  bool killed_ = false;
+  bool hung_ = false;  // kHang: reachable but mute
 };
 
 }  // namespace portus::core

@@ -42,11 +42,27 @@ std::optional<SlotHeader> decode_slot_header(std::span<const std::byte> raw) {
   return h;
 }
 
-std::vector<std::byte> encode_meta_blob(const std::string& name, bool phantom, Bytes slot_size,
+struct ShardIdentity {
+  std::uint32_t shard_id = 0;
+  std::uint32_t shard_count = 1;
+  std::uint32_t replica = 0;
+  std::uint32_t replica_count = 1;
+  std::uint64_t placement_epoch = 0;
+};
+
+std::vector<std::byte> encode_meta_blob(const std::string& name, bool phantom,
+                                        const ShardIdentity& shard,
+                                        std::span<const std::byte> manifest, Bytes slot_size,
                                         const std::vector<IndexedTensor>& tensors) {
   BinaryWriter w;
   w.str(name);
   w.u8(phantom ? 1 : 0);
+  w.u32(shard.shard_id);
+  w.u32(shard.shard_count);
+  w.u32(shard.replica);
+  w.u32(shard.replica_count);
+  w.u64(shard.placement_epoch);
+  w.bytes(manifest);
   w.u64(slot_size);
   w.u32(static_cast<std::uint32_t>(tensors.size()));
   for (const auto& t : tensors) {
@@ -71,6 +87,12 @@ MIndex MIndex::create(pmem::PmemDevice& device, PmemAllocator& allocator,
   idx.device_ = &device;
   idx.model_name_ = registration.model_name;
   idx.phantom_ = registration.phantom;
+  idx.shard_id_ = registration.shard_id;
+  idx.shard_count_ = registration.shard_count;
+  idx.replica_ = registration.replica;
+  idx.replica_count_ = registration.replica_count;
+  idx.placement_epoch_ = registration.placement_epoch;
+  idx.manifest_ = registration.manifest;
 
   // Lay tensors out back-to-back (256 B aligned) in one contiguous slot.
   Bytes cursor = 0;
@@ -88,8 +110,11 @@ MIndex MIndex::create(pmem::PmemDevice& device, PmemAllocator& allocator,
   idx.slot_size_ = cursor;
 
   // Allocate both TensorData regions and the record.
-  const auto meta_blob =
-      encode_meta_blob(idx.model_name_, idx.phantom_, idx.slot_size_, idx.tensors_);
+  const auto meta_blob = encode_meta_blob(
+      idx.model_name_, idx.phantom_,
+      ShardIdentity{idx.shard_id_, idx.shard_count_, idx.replica_, idx.replica_count_,
+                    idx.placement_epoch_},
+      idx.manifest_, idx.slot_size_, idx.tensors_);
   idx.record_size_ = 8 + 2 * kSlotHeaderSize + meta_blob.size();
   idx.record_offset_ = allocator.alloc(idx.record_size_);
   idx.slots_.resize(2);
@@ -151,6 +176,16 @@ MIndex MIndex::load(pmem::PmemDevice& device, Bytes record_offset) {
   BinaryReader r{std::span<const std::byte>{blob}.first(blob.size() - 4)};
   idx.model_name_ = r.str();
   idx.phantom_ = r.u8() != 0;
+  idx.shard_id_ = r.u32();
+  idx.shard_count_ = r.u32();
+  idx.replica_ = r.u32();
+  idx.replica_count_ = r.u32();
+  if (idx.shard_count_ == 0 || idx.shard_id_ >= idx.shard_count_ ||
+      idx.replica_count_ == 0 || idx.replica_ >= idx.replica_count_) {
+    throw Corruption("implausible shard identity in MIndex");
+  }
+  idx.placement_epoch_ = r.u64();
+  idx.manifest_ = r.bytes();
   idx.slot_size_ = r.u64();
   const auto count = r.u32();
   idx.tensors_.reserve(count);

@@ -12,7 +12,13 @@
 //   [u32 magic][u32 record_len]
 //   [slot0: u32 state | u64 epoch | u64 data_offset | u32 crc]   (24 B)
 //   [slot1: ditto]
-//   [meta blob: name, phantom flag, slot_size, tensor entries..., u32 crc]
+//   [meta blob: name, phantom flag, shard identity, manifest blob,
+//    slot_size, tensor entries..., u32 crc]
+//
+// Sharded models (core/cluster/) store one MIndex per shard copy under the
+// shard-scoped ModelTable key; the meta blob then carries the copy's shard
+// identity and the encoded ShardManifest, so the full cluster placement is
+// reconstructible from any one surviving daemon's PMEM alone.
 //
 // Slot headers are fixed-offset so a checkpoint flips its flag with one
 // 24-byte write + persist — no record rewrite. Persist ordering is the
@@ -78,6 +84,15 @@ class MIndex {
 
   const std::string& model_name() const { return model_name_; }
   bool phantom() const { return phantom_; }
+  // --- shard identity (defaults describe an unsharded model) ---
+  std::uint32_t shard_id() const { return shard_id_; }
+  std::uint32_t shard_count() const { return shard_count_; }
+  std::uint32_t replica() const { return replica_; }
+  std::uint32_t replica_count() const { return replica_count_; }
+  std::uint64_t placement_epoch() const { return placement_epoch_; }
+  bool sharded() const { return shard_count_ > 1 || replica_count_ > 1; }
+  // Encoded ShardManifest (empty for unsharded models).
+  const std::vector<std::byte>& manifest() const { return manifest_; }
   Bytes record_offset() const { return record_offset_; }
   Bytes record_size() const { return record_size_; }
   Bytes slot_size() const { return slot_size_; }
@@ -122,6 +137,12 @@ class MIndex {
   Bytes record_size_ = 0;
   std::string model_name_;
   bool phantom_ = false;
+  std::uint32_t shard_id_ = 0;
+  std::uint32_t shard_count_ = 1;
+  std::uint32_t replica_ = 0;
+  std::uint32_t replica_count_ = 1;
+  std::uint64_t placement_epoch_ = 0;
+  std::vector<std::byte> manifest_;
   Bytes slot_size_ = 0;
   std::vector<IndexedTensor> tensors_;
   std::vector<SlotHeader> slots_;  // exactly 2

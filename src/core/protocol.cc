@@ -39,15 +39,34 @@ void put_status(BinaryWriter& w, bool ok, const std::string& error) {
   w.str(error);
 }
 
+void check_protocol(std::uint32_t magic, std::uint16_t version, const char* what) {
+  if (magic != kProtocolMagic) {
+    throw ProtocolMismatch(std::string{what} + ": not a Portus message (bad magic)");
+  }
+  if (version != kProtocolVersion) {
+    throw ProtocolMismatch(std::string{what} + ": protocol version " +
+                           std::to_string(version) + ", this build speaks " +
+                           std::to_string(kProtocolVersion));
+  }
+}
+
 }  // namespace
 
 std::vector<std::byte> encode(const RegisterModelMsg& m) {
   BinaryWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRegisterModel));
+  w.u32(m.magic);
+  w.u16(m.version);
   w.str(m.model_name);
   w.u32(static_cast<std::uint32_t>(m.qp_tokens.size()));
   for (const auto token : m.qp_tokens) w.u64(token);
   w.u8(m.phantom ? 1 : 0);
+  w.u32(m.shard_id);
+  w.u32(m.shard_count);
+  w.u32(m.replica);
+  w.u32(m.replica_count);
+  w.u64(m.placement_epoch);
+  w.bytes(m.manifest);
   w.u32(static_cast<std::uint32_t>(m.tensors.size()));
   for (const auto& t : m.tensors) {
     w.str(t.name);
@@ -64,12 +83,25 @@ std::vector<std::byte> encode(const RegisterModelMsg& m) {
 RegisterModelMsg decode_register_model(std::span<const std::byte> wire) {
   auto r = body_reader(wire, MsgType::kRegisterModel);
   RegisterModelMsg m;
+  m.magic = r.u32();
+  m.version = r.u16();
+  check_protocol(m.magic, m.version, "registration");
   m.model_name = r.str();
   const auto n_tokens = r.u32();
   if (n_tokens > 256) throw Corruption("implausible QP stripe count in registration");
   m.qp_tokens.resize(n_tokens);
   for (auto& token : m.qp_tokens) token = r.u64();
   m.phantom = r.u8() != 0;
+  m.shard_id = r.u32();
+  m.shard_count = r.u32();
+  m.replica = r.u32();
+  m.replica_count = r.u32();
+  if (m.shard_count == 0 || m.shard_id >= m.shard_count || m.replica_count == 0 ||
+      m.replica >= m.replica_count) {
+    throw Corruption("implausible shard identity in registration");
+  }
+  m.placement_epoch = r.u64();
+  m.manifest = r.bytes();
   const auto count = r.u32();
   m.tensors.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -91,6 +123,8 @@ RegisterModelMsg decode_register_model(std::span<const std::byte> wire) {
 std::vector<std::byte> encode(const RegisterAckMsg& m) {
   BinaryWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRegisterAck));
+  w.u32(m.magic);
+  w.u16(m.version);
   put_status(w, m.ok, m.error);
   w.u32(m.stripes);
   return w.take();
@@ -99,6 +133,11 @@ std::vector<std::byte> encode(const RegisterAckMsg& m) {
 RegisterAckMsg decode_register_ack(std::span<const std::byte> wire) {
   auto r = body_reader(wire, MsgType::kRegisterAck);
   RegisterAckMsg m;
+  m.magic = r.u32();
+  m.version = r.u16();
+  // The client-side mirror of the daemon's registration check: a stale
+  // daemon's ack is rejected before its body layout is trusted.
+  check_protocol(m.magic, m.version, "registration ack");
   m.ok = r.u8() != 0;
   m.error = r.str();
   m.stripes = r.u32();
@@ -150,6 +189,7 @@ std::vector<std::byte> encode(const RestoreReqMsg& m) {
   BinaryWriter w;
   w.u8(static_cast<std::uint8_t>(MsgType::kRestoreReq));
   w.str(m.model_name);
+  w.u64(m.required_epoch);
   return w.take();
 }
 
@@ -157,6 +197,7 @@ RestoreReqMsg decode_restore_req(std::span<const std::byte> wire) {
   auto r = body_reader(wire, MsgType::kRestoreReq);
   RestoreReqMsg m;
   m.model_name = r.str();
+  m.required_epoch = r.u64();
   return m;
 }
 

@@ -28,6 +28,13 @@
 
 namespace portus::core {
 
+// Control-plane wire versioning. Registration (the one message whose layout
+// has already changed across releases) opens with a magic + version pair so
+// a stale client and daemon reject each other explicitly instead of
+// misparsing the body. Bump kProtocolVersion on any wire-layout change.
+inline constexpr std::uint32_t kProtocolMagic = 0x50545553;  // "PTUS"
+inline constexpr std::uint16_t kProtocolVersion = 2;
+
 enum class MsgType : std::uint8_t {
   kRegisterModel = 1,
   kRegisterAck = 2,
@@ -42,6 +49,14 @@ enum class MsgType : std::uint8_t {
 
 const char* to_string(MsgType t);
 
+// A peer speaks a different protocol generation (bad magic or version).
+// Distinct from Corruption so handlers can answer with an explicit
+// rejection instead of treating the message as line noise.
+class ProtocolMismatch : public Error {
+ public:
+  using Error::Error;
+};
+
 struct TensorDesc {
   std::string name;
   dnn::DType dtype = dnn::DType::kF32;
@@ -52,12 +67,28 @@ struct TensorDesc {
 };
 
 struct RegisterModelMsg {
+  // Overridable in tests to simulate a stale client; encode() writes these
+  // verbatim and decode() rejects anything but the current pair.
+  std::uint32_t magic = kProtocolMagic;
+  std::uint16_t version = kProtocolVersion;
   std::string model_name;
   // One token per datapath stripe the client offers (>= 1); the daemon
   // connects a prefix of them, bounded by its own `stripes` config.
   std::vector<std::uint64_t> qp_tokens;
   bool phantom = false;
+  // --- cluster sharding (core/cluster/). A standalone registration keeps
+  // the defaults: one shard, one replica, no manifest. ---
+  std::uint32_t shard_id = 0;
+  std::uint32_t shard_count = 1;
+  std::uint32_t replica = 0;        // which copy of the shard this is
+  std::uint32_t replica_count = 1;
+  std::uint64_t placement_epoch = 0;  // ring-config generation
+  // Encoded ShardManifest, persisted alongside the shard's MIndex so any
+  // surviving daemon can reconstruct the full placement. Empty = none.
+  std::vector<std::byte> manifest;
   std::vector<TensorDesc> tensors;
+
+  bool sharded() const { return shard_count > 1 || replica_count > 1; }
 
   Bytes total_bytes() const {
     Bytes n = 0;
@@ -67,6 +98,8 @@ struct RegisterModelMsg {
 };
 
 struct RegisterAckMsg {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint16_t version = kProtocolVersion;
   bool ok = false;
   std::string error;
   // Datapath stripes the daemon actually connected (<= tokens offered).
@@ -92,6 +125,11 @@ struct CheckpointDoneMsg {
 
 struct RestoreReqMsg {
   std::string model_name;
+  // Replica-epoch floor (cluster degraded restore): when non-zero, the
+  // daemon must serve a DONE version with epoch >= this, or reject — a
+  // replica that missed the last checkpoint must not silently hand out
+  // stale tensors. 0 = newest available.
+  std::uint64_t required_epoch = 0;
 };
 
 struct RestoreDoneMsg {

@@ -1,6 +1,7 @@
 #include "net/cluster.h"
 
 #include "common/error.h"
+#include "common/strformat.h"
 
 namespace portus::net {
 
@@ -51,6 +52,23 @@ std::unique_ptr<Cluster> Cluster::paper_testbed(sim::Engine& engine) {
                          .pmem_devdax = 768_GiB,
                          .nic = rdma::NicSpec::connectx5_100g()})
       .build(engine);
+}
+
+std::unique_ptr<Cluster> Cluster::sharded_testbed(sim::Engine& engine, int storage_nodes) {
+  PORTUS_CHECK_ARG(storage_nodes >= 1 && storage_nodes <= 64,
+                   "sharded testbed takes 1..64 storage nodes");
+  Builder b;
+  b.add_node(NodeSpec{.name = "client-volta",
+                      .gpu_count = 4,
+                      .gpu_kind = gpu::GpuKind::kV100,
+                      .nic = rdma::NicSpec::connectx5_100g()});
+  for (int i = 0; i < storage_nodes; ++i) {
+    b.add_node(NodeSpec{.name = strf("pmem{}", i),
+                        .dram = 192_GiB,
+                        .pmem_devdax = 768_GiB,
+                        .nic = rdma::NicSpec::connectx5_100g()});
+  }
+  return b.build(engine);
 }
 
 }  // namespace portus::net

@@ -53,6 +53,11 @@ class Cluster {
   // Client-Ampere (8x A40), one AEP storage server (2x 768 GiB namespaces).
   static std::unique_ptr<Cluster> paper_testbed(sim::Engine& engine);
 
+  // Portus-Cluster testbed: one Client-Volta plus `storage_nodes` AEP
+  // servers named "pmem0".."pmemN-1", each with its own NIC and devdax
+  // namespace. Daemons conventionally listen on "portusd<i>".
+  static std::unique_ptr<Cluster> sharded_testbed(sim::Engine& engine, int storage_nodes);
+
  private:
   explicit Cluster(sim::Engine& engine) : engine_{engine}, fabric_{engine} {}
 

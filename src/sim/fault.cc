@@ -1,0 +1,50 @@
+#include "sim/fault.h"
+
+namespace portus::sim {
+
+const char* to_string(FaultMode m) {
+  switch (m) {
+    case FaultMode::kCrash: return "crash";
+    case FaultMode::kHang: return "hang";
+  }
+  return "?";
+}
+
+void FaultInjector::register_target(const std::string& name, KillFn kill) {
+  PORTUS_CHECK_ARG(kill != nullptr, "fault target needs a kill callback");
+  targets_[name] = Target{std::move(kill), /*killed=*/false};
+}
+
+void FaultInjector::deregister_target(const std::string& name) { targets_.erase(name); }
+
+void FaultInjector::kill_now(const std::string& name, FaultMode mode) {
+  PORTUS_CHECK_ARG(targets_.contains(name), "unknown fault target: " + name);
+  fire(name, mode);
+}
+
+void FaultInjector::kill_after(const std::string& name, Duration delay, FaultMode mode) {
+  PORTUS_CHECK_ARG(targets_.contains(name), "unknown fault target: " + name);
+  engine_.schedule(delay, [this, name, mode] { fire(name, mode); });
+}
+
+void FaultInjector::fire(const std::string& name, FaultMode mode) {
+  const auto it = targets_.find(name);
+  if (it == targets_.end() || it->second.killed) return;  // late-firing no-op
+  it->second.killed = true;
+  ++kills_fired_;
+  it->second.kill(mode);
+}
+
+bool FaultInjector::killed(const std::string& name) const {
+  const auto it = targets_.find(name);
+  return it != targets_.end() && it->second.killed;
+}
+
+std::vector<std::string> FaultInjector::targets() const {
+  std::vector<std::string> out;
+  out.reserve(targets_.size());
+  for (const auto& [name, _] : targets_) out.push_back(name);
+  return out;
+}
+
+}  // namespace portus::sim

@@ -1,0 +1,75 @@
+// Fault injection for the simulation engine.
+//
+// Components that can "die" (daemons, storage servers) register a kill
+// callback under a stable name; tests and benchmarks then arm faults by
+// name, either immediately or at a future point in virtual time. The
+// injector never knows what a kill means — closing sockets, dropping
+// requests, wedging a device — it only guarantees deterministic delivery
+// through the engine's event queue and records what it fired, so a run's
+// fault schedule is reproducible and auditable.
+//
+//   sim::FaultInjector faults{engine};
+//   ... PortusDaemon registers itself as "portusd0" ...
+//   faults.kill_after("portusd0", 5ms);        // crash-stop mid-run
+//   faults.kill_after("portusd1", 7ms, sim::FaultMode::kHang);  // gray failure
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace portus::sim {
+
+// How the target should fail.
+//   kCrash: crash-stop — connections drop, peers see Disconnected at once.
+//   kHang:  gray failure — the target stays reachable but never responds;
+//           peers only notice through their own timeouts.
+enum class FaultMode { kCrash, kHang };
+
+const char* to_string(FaultMode m);
+
+class FaultInjector {
+ public:
+  using KillFn = std::function<void(FaultMode)>;
+
+  explicit FaultInjector(Engine& engine) : engine_{engine} {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Register/replace a kill target. The callback runs from the engine's
+  // event loop (kill_after) or inline (kill_now); it must not throw.
+  void register_target(const std::string& name, KillFn kill);
+
+  // Forget a target. Armed faults that fire later become no-ops.
+  void deregister_target(const std::string& name);
+
+  // Fire immediately.
+  void kill_now(const std::string& name, FaultMode mode = FaultMode::kCrash);
+
+  // Arm a fault `delay` of virtual time from now. Firing against a target
+  // that was deregistered (or already killed) in the meantime is a no-op.
+  void kill_after(const std::string& name, Duration delay,
+                  FaultMode mode = FaultMode::kCrash);
+
+  bool killed(const std::string& name) const;
+  int kills_fired() const { return kills_fired_; }
+  std::vector<std::string> targets() const;
+
+ private:
+  struct Target {
+    KillFn kill;
+    bool killed = false;
+  };
+  void fire(const std::string& name, FaultMode mode);
+
+  Engine& engine_;
+  std::map<std::string, Target> targets_;
+  int kills_fired_ = 0;
+};
+
+}  // namespace portus::sim

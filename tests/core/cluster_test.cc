@@ -1,0 +1,470 @@
+// Portus-Cluster: sharded multi-daemon placement, replication, and degraded
+// restore (ISSUE acceptance criteria a/b/c plus manifest and protocol
+// version coverage).
+#include <gtest/gtest.h>
+
+#include "common/strformat.h"
+#include "core/cluster/cluster_client.h"
+#include "core/cluster/cluster_ctl.h"
+#include "core/cluster/manifest.h"
+#include "core/cluster/placement.h"
+#include "core/daemon/daemon.h"
+#include "dnn/model_zoo.h"
+#include "net/cluster.h"
+#include "sim/fault.h"
+
+namespace portus::core::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Placement policy (pure function; acceptance criterion c's foundation).
+
+TEST(PlacementTest, DeterministicAcrossProcesses) {
+  const std::vector<Bytes> sizes{96_MiB, 1_MiB, 40_MiB, 40_MiB, 8_MiB, 3_MiB, 200_KiB};
+  const auto a = Placement::compute("gpt-tiny", sizes, 4, 2, 7);
+  const auto b = Placement::compute("gpt-tiny", sizes, 4, 2, 7);
+  EXPECT_EQ(a.digest(), b.digest());
+  ASSERT_EQ(a.tensor_shard, b.tensor_shard);
+  ASSERT_EQ(a.shard_daemons, b.shard_daemons);
+
+  // A different placement epoch may rotate the ring; the digest must differ
+  // deterministically, not randomly.
+  const auto c1 = Placement::compute("gpt-tiny", sizes, 4, 2, 8);
+  const auto c2 = Placement::compute("gpt-tiny", sizes, 4, 2, 8);
+  EXPECT_EQ(c1.digest(), c2.digest());
+}
+
+TEST(PlacementTest, EveryTensorPlacedOnceAndReplicasDistinct) {
+  const std::vector<Bytes> sizes{10_MiB, 20_MiB, 30_MiB, 5_MiB, 5_MiB};
+  const auto plan = Placement::compute("m", sizes, 3, 2, 0);
+  ASSERT_EQ(plan.tensor_shard.size(), sizes.size());
+  std::size_t placed = 0;
+  for (const auto& shard : plan.shard_tensors) placed += shard.size();
+  EXPECT_EQ(placed, sizes.size());
+  for (const auto& ring : plan.shard_daemons) {
+    ASSERT_EQ(ring.size(), 2u);
+    EXPECT_NE(ring[0], ring[1]);  // two copies never share a daemon
+  }
+}
+
+TEST(PlacementTest, LptKeepsShardsBalanced) {
+  // 8 equal tensors over 4 shards must land exactly 2 per shard.
+  const std::vector<Bytes> sizes(8, 16_MiB);
+  const auto plan = Placement::compute("balanced", sizes, 4, 1, 0);
+  for (const auto& bytes : plan.shard_bytes) EXPECT_EQ(bytes, 32_MiB);
+}
+
+TEST(PlacementTest, ReplicasClampedToRingSize) {
+  const std::vector<Bytes> sizes{1_MiB, 2_MiB};
+  const auto plan = Placement::compute("m", sizes, 2, 5, 0);
+  EXPECT_EQ(plan.replicas, 2u);
+  for (const auto& ring : plan.shard_daemons) EXPECT_EQ(ring.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest wire format.
+
+TEST(ManifestTest, EncodeDecodeRoundtrip) {
+  const std::vector<Bytes> sizes{96_MiB, 1_MiB, 40_MiB};
+  const std::vector<std::string> names{"w0", "w1", "w2"};
+  const std::vector<std::string> endpoints{"portusd0", "portusd1", "portusd2"};
+  const auto plan = Placement::compute("gpt-tiny", sizes, 3, 2, 4);
+  const auto m = ShardManifest::from_plan(plan, endpoints, names, sizes);
+
+  const auto wire = m.encode();
+  const auto back = ShardManifest::decode(wire);
+  EXPECT_EQ(back.model_name, "gpt-tiny");
+  EXPECT_EQ(back.placement_epoch, 4u);
+  EXPECT_EQ(back.plan_digest, plan.digest());
+  EXPECT_EQ(back.daemon_count, 3u);
+  EXPECT_EQ(back.replicas, 2u);
+  EXPECT_EQ(back.endpoints, endpoints);
+  ASSERT_EQ(back.tensors.size(), 3u);
+  EXPECT_EQ(back.tensors[0].name, "w0");
+  EXPECT_EQ(back.tensors[0].size, 96_MiB);
+  EXPECT_EQ(back.tensors[0].shard, plan.tensor_shard[0]);
+  EXPECT_EQ(back.shard_daemons, plan.shard_daemons);
+}
+
+TEST(ManifestTest, CorruptionRejected) {
+  const std::vector<Bytes> sizes{1_MiB};
+  const std::vector<std::string> names{"w0"};
+  const std::vector<std::string> endpoints{"portusd0"};
+  const auto plan = Placement::compute("m", sizes, 1, 1, 0);
+  auto wire = ShardManifest::from_plan(plan, endpoints, names, sizes).encode();
+  wire[wire.size() / 2] ^= std::byte{0x5a};
+  EXPECT_THROW(ShardManifest::decode(wire), Corruption);
+  EXPECT_THROW(ShardManifest::decode({}), Corruption);
+}
+
+// ---------------------------------------------------------------------------
+// The cluster rig: N daemons on their own storage nodes, fault-injectable.
+
+struct ClusterRig {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster;
+  QpRendezvous rendezvous;
+  sim::FaultInjector faults{eng};
+  std::vector<std::unique_ptr<PortusDaemon>> daemons;
+  std::vector<std::string> endpoints;
+
+  explicit ClusterRig(int n) {
+    cluster = net::Cluster::sharded_testbed(eng, n);
+    for (int i = 0; i < n; ++i) {
+      PortusDaemon::Config cfg;
+      cfg.endpoint = strf("portusd{}", i);
+      cfg.faults = &faults;
+      endpoints.push_back(cfg.endpoint);
+      daemons.push_back(std::make_unique<PortusDaemon>(
+          *cluster, cluster->node(strf("pmem{}", i)), rendezvous, cfg));
+      daemons.back()->start();
+    }
+  }
+  ~ClusterRig() { eng.shutdown(); }
+
+  ClusterClient::Config client_config(std::uint32_t replicas) {
+    ClusterClient::Config cfg;
+    cfg.endpoints = endpoints;
+    cfg.replicas = replicas;
+    cfg.op_timeout = 50ms;
+    return cfg;
+  }
+};
+
+// Acceptance (a): shard + replicate a multi-tensor model across 3 daemons
+// with R=2; every daemon holds its copies; restore is bit-exact.
+TEST(ClusterTest, ShardReplicateRestoreBitExact) {
+  ClusterRig r{3};
+  auto& volta = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+  const auto crc0 = model.weights_crc();
+
+  ClusterClient client{*r.cluster, volta, volta.gpu(0), r.rendezvous, r.client_config(2)};
+  bool ok = false;
+  r.eng.spawn([](ClusterClient& c, dnn::Model& m, bool& done) -> sim::Process {
+    co_await c.register_model(m);
+    const auto ck = co_await c.checkpoint(1);
+    EXPECT_EQ(ck.epoch, 1u);
+    EXPECT_FALSE(ck.degraded);
+    m.mutate_weights(13);  // diverge post-checkpoint
+    const auto rr = co_await c.restore();
+    EXPECT_EQ(rr.epoch, 1u);
+    EXPECT_FALSE(rr.degraded);
+    EXPECT_EQ(rr.rerouted_shards, 0u);
+    done = true;
+  }(client, model, ok));
+  r.eng.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(model.weights_crc(), crc0);
+  EXPECT_EQ(r.eng.failed_process_count(), 0);
+
+  // R=2 over 3 daemons: 2 copies per shard, spread across the ring; each
+  // shard-scoped registration carries the manifest into the MIndex.
+  std::size_t copies = 0;
+  for (auto& d : r.daemons) {
+    for (const auto& name : d->model_table().names()) {
+      const MIndex* idx = d->find_live_index(name);
+      ASSERT_NE(idx, nullptr);
+      EXPECT_TRUE(idx->sharded());
+      const auto manifest = ShardManifest::decode(idx->manifest());
+      EXPECT_EQ(manifest.model_name, "resnet50");
+      EXPECT_EQ(manifest.replicas, 2u);
+      ++copies;
+    }
+    EXPECT_GT(d->stats().shard_registrations, 0u);
+  }
+  EXPECT_EQ(copies, client.plan().shard_tensors.size() * 2);
+}
+
+// Acceptance (b): kill one daemon mid-run through the sim fault hook; the
+// client completes a degraded restore from the surviving replicas.
+TEST(ClusterTest, DegradedRestoreAfterDaemonCrash) {
+  ClusterRig r{3};
+  auto& volta = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+
+  ClusterClient client{*r.cluster, volta, volta.gpu(0), r.rendezvous, r.client_config(2)};
+  bool ok = false;
+  std::uint32_t crc2 = 0;
+  r.eng.spawn([](ClusterRig& rig, ClusterClient& c, dnn::Model& m, std::uint32_t& want,
+                 bool& done) -> sim::Process {
+    co_await c.register_model(m);
+    co_await c.checkpoint(1);
+    m.mutate_weights(2);
+    co_await c.checkpoint(2);
+    want = m.weights_crc();
+
+    rig.faults.kill_now("portusd1");  // crash-stop one ring member
+
+    m.mutate_weights(777);  // diverge; epoch 2 must come back from replicas
+    const auto rr = co_await c.restore();
+    EXPECT_EQ(rr.epoch, 2u);
+    EXPECT_TRUE(rr.degraded);
+    EXPECT_GT(rr.rerouted_shards, 0u);
+    done = true;
+  }(r, client, model, crc2, ok));
+  r.eng.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(model.weights_crc(), crc2);
+  EXPECT_TRUE(r.daemons[1]->killed());
+  EXPECT_GE(client.stats().degraded_restores, 1u);
+  EXPECT_GE(client.stats().lane_failures, 1u);
+  EXPECT_EQ(r.eng.failed_process_count(), 0);
+}
+
+// A crash *between* checkpoints: the next checkpoint itself degrades (the
+// dead lane's copies stop advancing) but still commits on every shard, and
+// the restore of that epoch re-routes around the hole.
+TEST(ClusterTest, DegradedCheckpointThenRestore) {
+  ClusterRig r{4};
+  auto& volta = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+
+  ClusterClient client{*r.cluster, volta, volta.gpu(0), r.rendezvous, r.client_config(2)};
+  bool ok = false;
+  std::uint32_t want = 0;
+  r.eng.spawn([](ClusterRig& rig, ClusterClient& c, dnn::Model& m, std::uint32_t& crc,
+                 bool& done) -> sim::Process {
+    co_await c.register_model(m);
+    co_await c.checkpoint(1);
+    rig.faults.kill_now("portusd2");
+    m.mutate_weights(2);
+    const auto ck = co_await c.checkpoint(2);
+    EXPECT_EQ(ck.epoch, 2u);
+    EXPECT_TRUE(ck.degraded);
+    crc = m.weights_crc();
+    m.mutate_weights(3);
+    const auto rr = co_await c.restore();
+    EXPECT_EQ(rr.epoch, 2u);
+    done = true;
+  }(r, client, model, want, ok));
+  r.eng.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(model.weights_crc(), want);
+  EXPECT_GE(client.stats().degraded_checkpoints, 1u);
+  EXPECT_EQ(r.eng.failed_process_count(), 0);
+}
+
+// Gray failure: the daemon hangs instead of crashing. Only the client-side
+// op timeout detects it; the restore then degrades exactly like a crash.
+TEST(ClusterTest, HungDaemonDetectedByTimeout) {
+  ClusterRig r{3};
+  auto& volta = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+
+  ClusterClient client{*r.cluster, volta, volta.gpu(0), r.rendezvous, r.client_config(2)};
+  bool ok = false;
+  std::uint32_t want = 0;
+  r.eng.spawn([](ClusterRig& rig, ClusterClient& c, dnn::Model& m, std::uint32_t& crc,
+                 bool& done) -> sim::Process {
+    co_await c.register_model(m);
+    co_await c.checkpoint(1);
+    crc = m.weights_crc();
+    rig.faults.kill_now("portusd0", sim::FaultMode::kHang);
+    m.mutate_weights(9);
+    const auto rr = co_await c.restore();
+    EXPECT_EQ(rr.epoch, 1u);
+    EXPECT_TRUE(rr.degraded);
+    done = true;
+  }(r, client, model, want, ok));
+  r.eng.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(model.weights_crc(), want);
+  EXPECT_GE(client.stats().lane_failures, 1u);
+  // The hang was detected by the watchdog, not by a socket error.
+  std::uint64_t timeouts = 0;
+  for (std::size_t i = 0; i < client.lane_count(); ++i) {
+    timeouts += client.lane_client(i).stats().timeouts;
+  }
+  EXPECT_GE(timeouts, 1u);
+  EXPECT_EQ(r.eng.failed_process_count(), 0);
+}
+
+// Acceptance (c): a brand-new process (fresh ClusterClient, no state) with
+// the same ring config recomputes the identical placement and restores the
+// checkpoint bit-exactly, with no metadata service in between.
+TEST(ClusterTest, PlacementSurvivesProcessRestart) {
+  ClusterRig r{3};
+  auto& volta = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+
+  std::uint64_t digest1 = 0;
+  std::uint32_t crc = 0;
+  {
+    ClusterClient client{*r.cluster, volta, volta.gpu(0), r.rendezvous, r.client_config(2)};
+    bool ok = false;
+    r.eng.spawn([](ClusterClient& c, dnn::Model& m, bool& done) -> sim::Process {
+      co_await c.register_model(m);
+      co_await c.checkpoint(1);
+      done = true;
+    }(client, model, ok));
+    r.eng.run();
+    ASSERT_TRUE(ok);
+    digest1 = client.plan().digest();
+    crc = model.weights_crc();
+  }
+
+  // "Restart": a new incarnation with fresh (wrong) weights re-registers —
+  // same shard keys land on the same daemons — and pulls epoch 1 back.
+  opt.weight_seed = 4242;
+  auto model2 = dnn::ModelZoo::create(volta.gpu(1), "resnet50", opt);
+  ASSERT_NE(model2.weights_crc(), crc);
+  ClusterClient client2{*r.cluster, volta, volta.gpu(1), r.rendezvous, r.client_config(2)};
+  bool ok = false;
+  r.eng.spawn([](ClusterClient& c, dnn::Model& m, bool& done) -> sim::Process {
+    co_await c.register_model(m);
+    const auto rr = co_await c.restore();
+    EXPECT_EQ(rr.epoch, 1u);
+    EXPECT_FALSE(rr.degraded);
+    done = true;
+  }(client2, model2, ok));
+  r.eng.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(client2.plan().digest(), digest1);
+  EXPECT_EQ(model2.weights_crc(), crc);
+  EXPECT_EQ(r.eng.failed_process_count(), 0);
+}
+
+// Losing every copy of a shard is unrecoverable and must fail loudly.
+TEST(ClusterTest, RestoreThrowsWhenAllCopiesOfShardLost) {
+  ClusterRig r{2};
+  auto& volta = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+
+  // R=1: one copy per shard; killing either daemon orphans its shard.
+  ClusterClient client{*r.cluster, volta, volta.gpu(0), r.rendezvous, r.client_config(1)};
+  bool threw = false;
+  r.eng.spawn([](ClusterRig& rig, ClusterClient& c, dnn::Model& m,
+                 bool& out) -> sim::Process {
+    co_await c.register_model(m);
+    co_await c.checkpoint(1);
+    rig.faults.kill_now("portusd0");
+    try {
+      co_await c.restore();
+    } catch (const NotFound&) {
+      out = true;
+    }
+  }(r, client, model, threw));
+  r.eng.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(r.eng.failed_process_count(), 0);
+}
+
+// cluster-status aggregation sees every daemon and the client counters.
+TEST(ClusterTest, ClusterCtlStatusAggregates) {
+  ClusterRig r{3};
+  auto& volta = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.02;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+
+  ClusterClient client{*r.cluster, volta, volta.gpu(0), r.rendezvous, r.client_config(2)};
+  bool ok = false;
+  r.eng.spawn([](ClusterRig& rig, ClusterClient& c, dnn::Model& m, bool& done)
+                  -> sim::Process {
+    co_await c.register_model(m);
+    co_await c.checkpoint(1);
+    rig.faults.kill_now("portusd1");
+    m.mutate_weights(1);
+    co_await c.restore();
+    done = true;
+  }(r, client, model, ok));
+  r.eng.run();
+  ASSERT_TRUE(ok);
+
+  std::vector<PortusDaemon*> ptrs;
+  for (auto& d : r.daemons) ptrs.push_back(d.get());
+  const auto row = ClusterCtl::inspect(*r.daemons[1]);
+  EXPECT_FALSE(row.up);
+  EXPECT_GT(row.shard_copies, 0u);
+  EXPECT_EQ(row.models, 1u);
+
+  const auto table = ClusterCtl::render_status(ptrs, &client);
+  EXPECT_NE(table.find("portusd0"), std::string::npos);
+  EXPECT_NE(table.find("DOWN"), std::string::npos);
+  EXPECT_NE(table.find("degraded"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol magic/version negotiation (satellite).
+
+TEST(ClusterTest, DaemonRejectsStaleProtocolExplicitly) {
+  ClusterRig r{1};
+  auto& volta = r.cluster->node("client-volta");
+
+  bool ok = false;
+  r.eng.spawn([](ClusterRig& rig, net::Node& node, bool& done) -> sim::Process {
+    (void)node;
+    auto socket = co_await rig.cluster->endpoint("portusd0").connect();
+    RegisterModelMsg msg;
+    msg.version = 1;  // stale client generation
+    msg.model_name = "old-timer";
+    msg.tensors.push_back(TensorDesc{.name = "w", .dtype = dnn::DType::kF32,
+                                     .shape = {4}, .size = 16, .gpu_addr = 0, .rkey = 0});
+    auto wire = encode(msg);
+    socket->send(std::move(wire));
+    auto reply = co_await socket->recv();
+    const auto ack = decode_register_ack(reply);
+    EXPECT_FALSE(ack.ok);
+    EXPECT_NE(ack.error.find("version"), std::string::npos);
+    done = true;
+  }(r, volta, ok));
+  r.eng.run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(r.daemons[0]->stats().rejected_protocol, 1u);
+  EXPECT_EQ(r.daemons[0]->stats().registrations, 0u);
+  EXPECT_EQ(r.eng.failed_process_count(), 0);
+}
+
+TEST(ClusterTest, ClientRejectsStaleAck) {
+  RegisterAckMsg ack;
+  ack.ok = true;
+  ack.magic = 0xDEADBEEF;
+  const auto wire = encode(ack);
+  EXPECT_THROW(decode_register_ack(wire), ProtocolMismatch);
+
+  RegisterAckMsg ack2;
+  ack2.ok = true;
+  ack2.version = kProtocolVersion + 1;
+  const auto wire2 = encode(ack2);
+  EXPECT_THROW(decode_register_ack(wire2), ProtocolMismatch);
+}
+
+TEST(ClusterTest, RegisterModelRoundtripCarriesShardIdentity) {
+  RegisterModelMsg msg;
+  msg.model_name = "m#s1";
+  msg.shard_id = 1;
+  msg.shard_count = 3;
+  msg.replica = 1;
+  msg.replica_count = 2;
+  msg.placement_epoch = 9;
+  msg.manifest = {std::byte{1}, std::byte{2}, std::byte{3}};
+  msg.tensors.push_back(TensorDesc{.name = "w", .dtype = dnn::DType::kF32,
+                                   .shape = {4}, .size = 16, .gpu_addr = 1, .rkey = 2});
+  const auto wire = encode(msg);
+  const auto back = decode_register_model(wire);
+  EXPECT_TRUE(back.sharded());
+  EXPECT_EQ(back.shard_id, 1u);
+  EXPECT_EQ(back.shard_count, 3u);
+  EXPECT_EQ(back.replica, 1u);
+  EXPECT_EQ(back.replica_count, 2u);
+  EXPECT_EQ(back.placement_epoch, 9u);
+  EXPECT_EQ(back.manifest, msg.manifest);
+}
+
+}  // namespace
+}  // namespace portus::core::cluster

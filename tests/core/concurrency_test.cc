@@ -1,0 +1,186 @@
+// Allocator and repacker concurrency (satellite coverage):
+//   * real threads racing CAS claims on the same AllocTable entry — the
+//     paper's lock-free fast path must hand a freed extent to exactly one
+//     winner;
+//   * repack running while a checkpoint transaction is open — the live
+//     session's ACTIVE slot must survive, while genuine crash leftovers
+//     (no session) are reclaimed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/client.h"
+#include "core/daemon/allocator.h"
+#include "core/daemon/daemon.h"
+#include "core/daemon/repacker.h"
+#include "core/daemon/slots.h"
+#include "dnn/model_zoo.h"
+#include "net/cluster.h"
+
+namespace portus::core {
+namespace {
+
+struct AllocFixture {
+  pmem::PmemDevice device{"pmem", 64_MiB, 0x1000};
+  PmemAllocator::Config config{.table_offset = 4_KiB,
+                               .table_capacity = 2048,
+                               .data_offset = 1_MiB,
+                               .data_end = 64_MiB};
+  PmemAllocator alloc{device, config};
+};
+
+TEST(AllocatorConcurrencyTest, RacingClaimsOnOneFreedExtent) {
+  // One freed extent, two workers allocating the same size concurrently:
+  // the FREE -> CLAIMED compare-&-swap must admit exactly one of them; the
+  // loser falls through to the bump region. Repeated to give the race a
+  // real chance to interleave both ways.
+  for (int round = 0; round < 64; ++round) {
+    AllocFixture f;
+    const auto freed = f.alloc.alloc(4_KiB);
+    f.alloc.free(freed);
+
+    std::atomic<int> ready{0};
+    Bytes got[2] = {0, 0};
+    auto worker = [&](int id) {
+      ready.fetch_add(1);
+      while (ready.load() < 2) {}  // line both threads up on the CAS
+      got[id] = f.alloc.alloc(4_KiB);
+    };
+    std::thread t0{worker, 0};
+    std::thread t1{worker, 1};
+    t0.join();
+    t1.join();
+
+    EXPECT_NE(got[0], got[1]);
+    const int reused = (got[0] == freed ? 1 : 0) + (got[1] == freed ? 1 : 0);
+    EXPECT_EQ(reused, 1) << "freed extent must be claimed exactly once";
+    EXPECT_EQ(f.alloc.live_bytes(), 8_KiB);
+    EXPECT_EQ(f.alloc.free_listed_bytes(), 0u);
+  }
+}
+
+TEST(AllocatorConcurrencyTest, ParallelAllocFreeKeepsExtentsDisjoint) {
+  AllocFixture f;
+  constexpr int kWorkers = 4;
+  constexpr int kOpsPerWorker = 200;
+  std::vector<std::vector<Bytes>> held(kWorkers);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&f, &held, w] {
+      for (int i = 0; i < kOpsPerWorker; ++i) {
+        const Bytes size = 1_KiB + static_cast<Bytes>((w * kOpsPerWorker + i) % 7) * 512;
+        held[w].push_back(f.alloc.alloc(size));
+        if (i % 3 == 2) {  // free a third of our own extents as we go
+          f.alloc.free(held[w].back());
+          held[w].pop_back();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every LIVE extent in the table is disjoint from every other.
+  auto extents = f.alloc.extents();
+  Bytes prev_end = 0;
+  Bytes live = 0;
+  for (const auto& e : extents) {
+    EXPECT_GE(e.offset, prev_end) << "overlapping extents";
+    prev_end = e.offset + e.size;
+    if (e.state == AllocState::kLive) live += e.size;
+  }
+  EXPECT_EQ(live, f.alloc.live_bytes());
+
+  // The DRAM mirror round-trips through the persistent AllocTable.
+  f.device.persist_all();
+  PmemAllocator recovered{f.device, f.config};
+  recovered.recover();
+  EXPECT_EQ(recovered.live_bytes(), f.alloc.live_bytes());
+  EXPECT_EQ(recovered.free_listed_bytes(), f.alloc.free_listed_bytes());
+}
+
+struct Rig {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster = net::Cluster::paper_testbed(eng);
+  QpRendezvous rendezvous;
+  std::unique_ptr<PortusDaemon> daemon = std::make_unique<PortusDaemon>(
+      *cluster, cluster->node("server"), rendezvous, PortusDaemon::Config{});
+  Rig() { daemon->start(); }
+  ~Rig() { eng.shutdown(); }
+};
+
+TEST(RepackerConcurrencyTest, RepackSparesOpenCheckpointTxn) {
+  Rig r;
+  auto& volta = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.01;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "alexnet", opt);
+  PortusClient client{*r.cluster, volta, volta.gpu(0), r.rendezvous};
+  r.eng.spawn([](PortusClient& c, dnn::Model& m) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+  }(client, model));
+  r.eng.run();
+
+  MIndex* idx = r.daemon->find_live_index("alexnet");
+  ASSERT_NE(idx, nullptr);
+
+  // A checkpoint is mid-flight: its slot is ACTIVE with the DONE flag still
+  // pending. Repack must not treat it as a crash leftover — the session is
+  // live and the transfer may still be running.
+  auto txn = CheckpointTxn::begin(*idx);
+  const auto active_offset = idx->slot(txn.slot()).data_offset;
+  ASSERT_NE(active_offset, 0u);
+  ASSERT_EQ(idx->slot(txn.slot()).state, SlotState::kActive);
+
+  const auto report = Repacker{*r.daemon}.repack();
+  EXPECT_EQ(report.slots_cleared, 0);
+  EXPECT_EQ(report.freed_crashed, 0u);
+  EXPECT_EQ(idx->slot(txn.slot()).state, SlotState::kActive);
+  EXPECT_EQ(idx->slot(txn.slot()).data_offset, active_offset);
+
+  // The surviving transaction commits normally after the repack pass.
+  txn.commit();
+  EXPECT_EQ(idx->slot(txn.slot()).state, SlotState::kDone);
+  EXPECT_EQ(idx->max_epoch(), 1u);
+}
+
+TEST(RepackerConcurrencyTest, RepackReclaimsActiveSlotWithoutSession) {
+  Rig r;
+  auto& volta = r.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.01;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "alexnet", opt);
+  PortusClient client{*r.cluster, volta, volta.gpu(0), r.rendezvous};
+  r.eng.spawn([](PortusClient& c, dnn::Model& m) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    co_await c.checkpoint(m, 1);
+  }(client, model));
+  r.eng.run();
+
+  // Crash mid-checkpoint: the second slot goes ACTIVE, then the daemon
+  // restarts. No session survives, so the ACTIVE slot is a crash leftover.
+  {
+    MIndex* idx = r.daemon->find_live_index("alexnet");
+    ASSERT_NE(idx, nullptr);
+    auto txn = CheckpointTxn::begin(*idx);
+    (void)txn;  // never committed: simulated crash before DONE
+  }
+  r.daemon->device().persist_all();
+  r.daemon->recover();
+  ASSERT_EQ(r.daemon->find_live_index("alexnet"), nullptr);
+
+  const auto report = Repacker{*r.daemon}.repack();
+  EXPECT_EQ(report.slots_cleared, 1);
+  EXPECT_GT(report.freed_crashed, 0u);
+
+  // The committed epoch-1 version is untouched and still restorable.
+  const auto idx = r.daemon->load_index("alexnet");
+  ASSERT_TRUE(idx.latest_done_slot().has_value());
+  EXPECT_EQ(idx.slot(*idx.latest_done_slot()).epoch, 1u);
+}
+
+}  // namespace
+}  // namespace portus::core

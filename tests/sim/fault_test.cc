@@ -1,0 +1,86 @@
+// FaultInjector: deterministic kill delivery through the engine.
+#include <gtest/gtest.h>
+
+#include "sim/fault.h"
+
+namespace portus::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(FaultTest, KillNowInvokesCallbackWithMode) {
+  Engine eng;
+  FaultInjector faults{eng};
+  std::vector<FaultMode> hits;
+  faults.register_target("d0", [&](FaultMode m) { hits.push_back(m); });
+
+  EXPECT_FALSE(faults.killed("d0"));
+  faults.kill_now("d0", FaultMode::kHang);
+  EXPECT_TRUE(faults.killed("d0"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], FaultMode::kHang);
+  EXPECT_EQ(faults.kills_fired(), 1);
+  eng.shutdown();
+}
+
+TEST(FaultTest, KillAfterFiresAtVirtualTime) {
+  Engine eng;
+  FaultInjector faults{eng};
+  Time fired_at{};
+  faults.register_target("d0", [&](FaultMode) { fired_at = eng.now(); });
+
+  faults.kill_after("d0", 5ms);
+  eng.run();
+  EXPECT_EQ(fired_at, 5ms);
+  EXPECT_TRUE(faults.killed("d0"));
+  eng.shutdown();
+}
+
+TEST(FaultTest, SecondKillIsNoOp) {
+  Engine eng;
+  FaultInjector faults{eng};
+  int hits = 0;
+  faults.register_target("d0", [&](FaultMode) { ++hits; });
+
+  faults.kill_now("d0");
+  faults.kill_now("d0");
+  faults.kill_after("d0", 1ms);
+  eng.run();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(faults.kills_fired(), 1);
+  eng.shutdown();
+}
+
+TEST(FaultTest, DeregisteredTargetIgnoresArmedFault) {
+  Engine eng;
+  FaultInjector faults{eng};
+  int hits = 0;
+  faults.register_target("d0", [&](FaultMode) { ++hits; });
+  faults.kill_after("d0", 2ms);
+  faults.deregister_target("d0");
+  eng.run();
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(faults.kills_fired(), 0);
+  EXPECT_FALSE(faults.killed("d0"));
+  eng.shutdown();
+}
+
+TEST(FaultTest, UnknownTargetThrows) {
+  Engine eng;
+  FaultInjector faults{eng};
+  EXPECT_THROW(faults.kill_now("ghost"), InvalidArgument);
+  eng.shutdown();
+}
+
+TEST(FaultTest, TargetsLists) {
+  Engine eng;
+  FaultInjector faults{eng};
+  faults.register_target("a", [](FaultMode) {});
+  faults.register_target("b", [](FaultMode) {});
+  const auto t = faults.targets();
+  EXPECT_EQ(t.size(), 2u);
+  eng.shutdown();
+}
+
+}  // namespace
+}  // namespace portus::sim

@@ -13,11 +13,15 @@
 #include <fstream>
 #include <iostream>
 
+#include "common/strformat.h"
 #include "core/client.h"
+#include "core/cluster/cluster_client.h"
+#include "core/cluster/cluster_ctl.h"
 #include "core/daemon/daemon.h"
 #include "core/portusctl.h"
 #include "dnn/model_zoo.h"
 #include "net/cluster.h"
+#include "sim/fault.h"
 
 using namespace portus;
 
@@ -139,12 +143,119 @@ int cmd_repack(const std::string& image) {
   return 0;
 }
 
+// A Portus-Cluster ring: N storage nodes, one daemon each, endpoints
+// "portusd0".."portusdN-1", all killable through the fault injector.
+struct ClusterWorld {
+  sim::Engine engine;
+  std::unique_ptr<net::Cluster> cluster;
+  core::QpRendezvous rendezvous;
+  sim::FaultInjector faults{engine};
+  std::vector<std::unique_ptr<core::PortusDaemon>> daemons;
+  std::vector<std::string> endpoints;
+
+  explicit ClusterWorld(int n, bool start) {
+    cluster = net::Cluster::sharded_testbed(engine, n);
+    for (int i = 0; i < n; ++i) {
+      core::PortusDaemon::Config cfg;
+      cfg.endpoint = strf("portusd{}", i);
+      cfg.faults = &faults;
+      endpoints.push_back(cfg.endpoint);
+      daemons.push_back(std::make_unique<core::PortusDaemon>(
+          *cluster, cluster->node(strf("pmem{}", i)), rendezvous, cfg));
+      if (start) daemons.back()->start();
+    }
+  }
+  ~ClusterWorld() { engine.shutdown(); }
+
+  std::vector<core::PortusDaemon*> daemon_ptrs() {
+    std::vector<core::PortusDaemon*> out;
+    for (auto& d : daemons) out.push_back(d.get());
+    return out;
+  }
+};
+
+// Seed a 3-daemon ring with a replicated sharded model, kill one daemon
+// mid-run, finish with a degraded restore, and save one image per daemon.
+int cmd_cluster_demo(const std::string& image_prefix) {
+  using namespace std::chrono_literals;
+  ClusterWorld w{3, /*start=*/true};
+  auto& volta = w.cluster->node("client-volta");
+
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.05;  // keep the image files small
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+
+  core::cluster::ClusterClient::Config ccfg;
+  ccfg.endpoints = w.endpoints;
+  ccfg.replicas = 2;
+  ccfg.op_timeout = 50ms;
+  core::cluster::ClusterClient client{*w.cluster, volta, volta.gpu(0), w.rendezvous, ccfg};
+
+  bool ok = false;
+  w.engine.spawn([](ClusterWorld& w, core::cluster::ClusterClient& c, dnn::Model& m,
+                    bool& done) -> sim::Process {
+    co_await c.register_model(m);
+    co_await c.checkpoint(1);
+    m.mutate_weights(2);
+    co_await c.checkpoint(2);
+    const auto crc = m.weights_crc();
+
+    w.faults.kill_now("portusd1");  // crash-stop one ring member
+    m.mutate_weights(3);
+    const auto ck = co_await c.checkpoint(3);
+    std::cout << strf("checkpoint 3 committed epoch {}{}\n", ck.epoch,
+                      ck.degraded ? " (degraded)" : "");
+    const auto crc3 = m.weights_crc();
+
+    m.mutate_weights(99);  // diverge, then pull epoch 3 back
+    const auto rr = co_await c.restore();
+    std::cout << strf("restore: epoch {}, degraded={}, re-routed {} shards\n", rr.epoch,
+                      rr.degraded ? "yes" : "no", rr.rerouted_shards);
+    if (m.weights_crc() != crc3 || crc == crc3) throw Error("restore mismatch");
+    done = true;
+  }(w, client, model, ok));
+  w.engine.run();
+  if (!ok) {
+    std::cerr << "cluster demo failed\n";
+    return 1;
+  }
+
+  const auto ptrs = w.daemon_ptrs();
+  std::cout << "\n" << core::cluster::ClusterCtl::render_status(ptrs, &client);
+  for (std::size_t i = 0; i < w.daemons.size(); ++i) {
+    const auto path = strf("{}{}.img", image_prefix, i);
+    w.daemons[i]->device().persist_all();
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    w.daemons[i]->device().save_image(out);
+    std::cout << "saved " << path << "\n";
+  }
+  return 0;
+}
+
+// Aggregate the fleet view from per-daemon images (cluster-demo's output).
+int cmd_cluster_status(const std::vector<std::string>& images) {
+  ClusterWorld w{static_cast<int>(images.size()), /*start=*/false};
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    std::ifstream in{images[i], std::ios::binary};
+    if (!in) {
+      std::cerr << "cannot open image: " << images[i] << "\n";
+      return 2;
+    }
+    w.daemons[i]->device().load_image(in);
+    w.daemons[i]->recover();
+  }
+  std::cout << core::cluster::ClusterCtl::render_status(w.daemon_ptrs());
+  return 0;
+}
+
 int usage() {
   std::cerr << "usage:\n"
                "  portusctl demo   IMAGE\n"
                "  portusctl view   IMAGE\n"
                "  portusctl dump   IMAGE MODEL OUT.ptck\n"
-               "  portusctl repack IMAGE\n";
+               "  portusctl repack IMAGE\n"
+               "  portusctl cluster-demo   IMAGE_PREFIX\n"
+               "  portusctl cluster-status IMAGE...\n";
   return 2;
 }
 
@@ -159,6 +270,10 @@ int main(int argc, char** argv) {
     if (cmd == "view") return cmd_view(image);
     if (cmd == "dump" && argc == 5) return cmd_dump(image, argv[3], argv[4]);
     if (cmd == "repack") return cmd_repack(image);
+    if (cmd == "cluster-demo") return cmd_cluster_demo(image);
+    if (cmd == "cluster-status") {
+      return cmd_cluster_status(std::vector<std::string>(argv + 2, argv + argc));
+    }
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
