@@ -44,4 +44,60 @@ std::uint32_t Crc32::of(const void* data, std::size_t n) {
   return Crc32{}.update(data, n).value();
 }
 
+namespace {
+
+// GF(2) linear algebra over the CRC register: advancing a CRC by one zero
+// byte is multiplication by a fixed 32x32 bit matrix; advancing by len(B)
+// zero bytes is that matrix raised to the 8*len(B)-th power, computed by
+// repeated squaring.
+std::uint32_t gf2_matrix_times(const std::uint32_t* mat, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1u) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void gf2_matrix_square(std::uint32_t* square, const std::uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = gf2_matrix_times(mat, mat[n]);
+}
+
+}  // namespace
+
+std::uint32_t Crc32::combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                             std::uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+
+  std::uint32_t even[32];  // operator for 2^(2k+1) zero bits
+  std::uint32_t odd[32];   // operator for 2^(2k) zero bits
+
+  // odd <- the one-zero-bit operator: the CRC polynomial shift.
+  odd[0] = 0xEDB88320u;
+  std::uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2_matrix_square(even, odd);  // two zero bits
+  gf2_matrix_square(odd, even);  // four zero bits
+
+  // Apply len_b zero *bytes* to crc_a, squaring the operator per bit of
+  // len_b, alternating between the two matrix buffers.
+  std::uint64_t len = len_b;
+  std::uint32_t crc = crc_a;
+  do {
+    gf2_matrix_square(even, odd);
+    if (len & 1u) crc = gf2_matrix_times(even, crc);
+    len >>= 1;
+    if (len == 0) break;
+    gf2_matrix_square(odd, even);
+    if (len & 1u) crc = gf2_matrix_times(odd, crc);
+    len >>= 1;
+  } while (len != 0);
+
+  return crc ^ crc_b;
+}
+
 }  // namespace portus

@@ -22,6 +22,13 @@ class Crc32 {
   static std::uint32_t of(std::span<const std::byte> data);
   static std::uint32_t of(const void* data, std::size_t n);
 
+  // CRC of the concatenation A||B given crc(A), crc(B), and len(B) — the
+  // GF(2) matrix method (zlib's crc32_combine). Lets the pipelined datapath
+  // stitch per-chunk CRCs computed out of order into one per-tensor CRC
+  // without re-reading the payload.
+  static std::uint32_t combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                               std::uint64_t len_b);
+
  private:
   std::uint32_t state_ = 0xFFFFFFFFu;
 };

@@ -162,6 +162,7 @@ sim::SubTask<std::uint64_t> PortusClient::checkpoint_named(std::string reg_name,
   PORTUS_CHECK(done.ok, "checkpoint failed: " + done.error);
   ++stats_.checkpoints;
   stats_.last_checkpoint = cluster_.engine().now() - t0;
+  stats_.last_payload_crc = done.payload_crc;
   co_return done.epoch;
 }
 
@@ -177,6 +178,7 @@ sim::SubTask<std::uint64_t> PortusClient::checkpoint_incremental(
   PORTUS_CHECK(done.ok, "checkpoint failed: " + done.error);
   ++stats_.checkpoints;
   stats_.last_checkpoint = cluster_.engine().now() - t0;
+  stats_.last_payload_crc = done.payload_crc;
   co_return done.epoch;
 }
 
@@ -194,6 +196,7 @@ sim::SubTask<std::uint64_t> PortusClient::restore_named(std::string reg_name,
   PORTUS_CHECK(done.ok, "restore failed: " + done.error);
   ++stats_.restores;
   stats_.last_restore = cluster_.engine().now() - t0;
+  stats_.last_payload_crc = done.payload_crc;
   co_return done.epoch;
 }
 

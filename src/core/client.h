@@ -36,6 +36,10 @@ class PortusClient {
     Duration last_restore{0};
     Duration registration_time{0};
     std::uint32_t negotiated_stripes = 0;  // accepted by the daemon (last reg)
+    // Aggregate payload CRC reported by the daemon for the last successful
+    // checkpoint/restore (0 for phantom models). Comparable against
+    // dnn::Model::weights_crc() for end-to-end integrity assertions.
+    std::uint32_t last_payload_crc = 0;
   };
 
   // One shard copy's registration: which tensors go to this daemon and

@@ -172,6 +172,42 @@ std::vector<PmemAllocator::Extent> PmemAllocator::extents() const {
   return out;
 }
 
+Bytes PmemAllocator::sweep_gaps() {
+  // Single-threaded by contract (see header).
+  Bytes adopted = 0;
+  Bytes cursor = config_.data_offset;
+  const auto adopt_up_to = [&](Bytes end) {
+    if (end <= cursor) return;
+    const auto count = entry_count_.load(std::memory_order_acquire);
+    std::uint32_t idx = count;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (entries_[i]->size == 0) {
+        idx = i;  // reuse a dead slot
+        break;
+      }
+    }
+    if (idx == count) {
+      if (count >= config_.table_capacity) {
+        throw ResourceExhausted("AllocTable full while adopting leaked extents");
+      }
+      entry_count_.store(count + 1, std::memory_order_release);
+    }
+    Entry& e = *entries_[idx];
+    e.offset = cursor;
+    e.size = end - cursor;
+    e.state.store(static_cast<std::uint32_t>(AllocState::kFree),
+                  std::memory_order_release);
+    persist_entry(idx);
+    adopted += end - cursor;
+  };
+  for (const auto& ext : extents()) {
+    adopt_up_to(ext.offset);
+    cursor = std::max(cursor, ext.offset + ext.size);
+  }
+  adopt_up_to(bump_.load(std::memory_order_acquire));
+  return adopted;
+}
+
 Bytes PmemAllocator::compact() {
   // Single-threaded by contract. Repeatedly absorb the highest free extent
   // that touches the bump pointer.

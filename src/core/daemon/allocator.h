@@ -65,6 +65,15 @@ class PmemAllocator {
   // quiesce allocation (the repacker runs with the daemon idle).
   Bytes compact();
 
+  // Adopt untracked heap bytes back as FREE extents. A crash can tear an
+  // AllocTable entry whose extent sits *between* surviving entries:
+  // recover() skips the torn entry, the bump pointer stays beyond it, and
+  // the bytes leak — nothing references them and compact() cannot reach
+  // them. Every hole below the bump pointer becomes a FREE entry again
+  // (reusing a dead table slot or appending one). Returns the adopted byte
+  // count. NOT thread-safe: repacker/fsck only, allocation quiesced.
+  Bytes sweep_gaps();
+
   static constexpr Bytes kEntrySize = 24;  // offset u64 | size u64 | state u32 | crc u32
 
  private:

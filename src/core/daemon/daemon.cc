@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "common/strformat.h"
 #include "core/daemon/slots.h"
@@ -58,6 +59,16 @@ void PortusDaemon::kill(sim::FaultMode mode) {
     hung_ = true;
     PLOG_INFO(kLog, "FAULT: {} hung (mute, connections stay open)", config_.endpoint);
     return;
+  }
+  if (mode == sim::FaultMode::kPowerCut) {
+    // Device-level power loss before the crash-stop: every unpersisted
+    // cache line is lost or torn, and the modeled process is gone — any
+    // in-flight coroutine still running in the simulator must not commit
+    // or write PMEM on its behalf (dead_ guards the commit points).
+    dead_ = true;
+    device_.power_cut(0x9E3779B97F4A7C15ull ^ device_.crash_count());
+    PLOG_INFO(kLog, "FAULT: {} lost power (dirty lines dropped/torn)",
+              config_.endpoint);
   }
   // Crash-stop: refuse new connections and drop the live ones.
   cluster_.endpoint(config_.endpoint).close();
@@ -273,6 +284,10 @@ sim::SubTask<CheckpointDoneMsg> PortusDaemon::handle_checkpoint(CheckpointReqMsg
       c.len = span.len;
       c.persist_after = true;
       c.persist_offset = txn.data_offset() + span.offset_in_slot;
+      // Inline integrity: CRC each chunk as it lands (phantom payloads are
+      // simulated, not materialized — nothing to checksum).
+      c.collect_crc = !index.phantom();
+      c.tensor_offset = span.offset;
       if (!dirty.empty() && !dirty[span.tensor]) {
         c.kind = TransferChunk::Kind::kLocalCopy;
         c.dst_offset = txn.data_offset() + span.offset_in_slot;
@@ -301,6 +316,22 @@ sim::SubTask<CheckpointDoneMsg> PortusDaemon::handle_checkpoint(CheckpointReqMsg
     // declaring the slot DONE.
     device_.persist(txn.data_offset(), index.slot_size());
     co_await cluster_.engine().sleep(device_.perf().persist_overhead);
+
+    // A power cut may have fired while this coroutine was suspended on the
+    // datapath; the process it models died with it, so nothing below — CRC
+    // block or DONE flip — may touch PMEM.
+    PORTUS_CHECK(!dead_, "power lost before checkpoint commit");
+
+    if (!index.phantom()) {
+      // Persist the payload-CRC block BEFORE the DONE flip, extending the
+      // ordering to ACTIVE -> data -> CRC block -> DONE: a DONE slot is
+      // thereby guaranteed to carry a valid, epoch-matching block.
+      const auto crcs = pipe.tensor_crcs(index.tensors().size());
+      index.set_payload_crcs(txn.slot(), txn.epoch(), crcs);
+      Crc32 agg;
+      for (const auto c : crcs) agg.update(&c, sizeof c);
+      done.payload_crc = agg.value();
+    }
 
     txn.commit();
     ++stats_.checkpoints;
@@ -341,6 +372,35 @@ sim::SubTask<RestoreDoneMsg> PortusDaemon::handle_restore(RestoreReqMsg msg) {
     }
     const auto* slot_mr = session.slot_mr[*slot_idx];
     PORTUS_CHECK(slot_mr != nullptr, "restore slot has no registered region");
+
+    // Integrity scrub before any byte leaves PMEM: the DONE slot must carry
+    // a valid payload-CRC block for its exact epoch, and every tensor's
+    // bytes must still match it. Bit rot (or an undetected torn write)
+    // surfaces here as an explicit Corruption instead of silently feeding
+    // the training job garbage weights.
+    if (!index.phantom()) {
+      const auto& slot = index.slot(*slot_idx);
+      const auto block = index.payload_crcs(*slot_idx);
+      if (!block.has_value() || block->epoch != slot.epoch) {
+        ++stats_.integrity_rejects;
+        throw Corruption(strf("payload-CRC block for {} slot {} is {} at epoch {}",
+                              msg.model_name, *slot_idx,
+                              block.has_value() ? "stale" : "missing or torn",
+                              slot.epoch));
+      }
+      const auto& tensors = index.tensors();
+      for (std::size_t t = 0; t < tensors.size(); ++t) {
+        if (device_.crc(slot.data_offset + tensors[t].offset_in_slot,
+                        tensors[t].size) != block->crcs[t]) {
+          ++stats_.integrity_rejects;
+          throw Corruption(strf("tensor {} of {} failed its payload CRC on restore",
+                                tensors[t].name, msg.model_name));
+        }
+      }
+      Crc32 agg;
+      for (const auto c : block->crcs) agg.update(&c, sizeof c);
+      done.payload_crc = agg.value();
+    }
 
     // Push every tensor into the remote GPU: pipelined one-sided RDMA
     // WRITEs through the same chunk/window/stripe engine as checkpoints

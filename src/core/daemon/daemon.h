@@ -72,6 +72,9 @@ class PortusDaemon {
     std::uint64_t restores = 0;
     std::uint64_t failed_ops = 0;
     std::uint64_t rejected_protocol = 0;  // magic/version mismatches answered
+    // Restores refused because the DONE slot's payload failed the CRC scrub
+    // (missing/torn/stale CRC block, or tensor bytes not matching it).
+    std::uint64_t integrity_rejects = 0;
     Bytes bytes_pulled = 0;
     Bytes bytes_pushed = 0;
     // --- pipelined datapath observability ---
@@ -110,7 +113,9 @@ class PortusDaemon {
   // closes the listener and every live session socket — clients see
   // Disconnected immediately. kHang keeps everything open but drops all
   // requests unanswered — clients only notice through their own timeouts.
-  // Checkpoint data on PMEM is untouched either way.
+  // Checkpoint data on PMEM is untouched by either. kPowerCut additionally
+  // fires PmemDevice::power_cut first (unpersisted lines lost/torn) and
+  // marks the daemon dead so in-flight operations can no longer commit.
   void kill(sim::FaultMode mode = sim::FaultMode::kCrash);
   bool killed() const { return killed_; }
 
@@ -171,6 +176,7 @@ class PortusDaemon {
   bool started_ = false;
   bool killed_ = false;
   bool hung_ = false;  // kHang: reachable but mute
+  bool dead_ = false;  // kPowerCut: the modeled process is gone; no commits
 };
 
 }  // namespace portus::core

@@ -1,0 +1,60 @@
+// Offline integrity checker for a Portus PMEM image (`portusctl fsck`).
+//
+// Walks the whole on-device structure — ModelTable -> MIndex records ->
+// slot headers -> payload-CRC blocks -> TensorData bytes -> AllocTable —
+// and cross-checks every layer:
+//
+//   * records that fail to load (torn/corrupt) are reported, and in repair
+//     mode dropped from the ModelTable (their extents fall out as orphans);
+//   * ACTIVE slots are crash leftovers by definition and demote to EMPTY;
+//   * every DONE slot's payload is scrubbed against its persisted
+//     payload-CRC block (missing/stale block, or any tensor whose bytes no
+//     longer match, demotes the slot — the double-mapping peer stays);
+//   * LIVE allocator extents must be referenced by exactly the surviving
+//     records/slots and must not overlap; unreferenced ones are orphans;
+//   * in repair mode, leaked heap gaps are re-adopted and the tail
+//     compacted, leaving an image the daemon can serve from immediately.
+//
+// Like the repacker, this is a stop-the-world maintenance pass: run it on
+// a quiescent daemon (or one freshly constructed over a loaded image).
+#pragma once
+
+#include "core/daemon/daemon.h"
+
+namespace portus::core {
+
+class Fsck {
+ public:
+  struct Report {
+    int models_scanned = 0;
+    int torn_records = 0;        // MIndex records that failed to load
+    int active_demoted = 0;      // ACTIVE (crash-leftover) slots demoted
+    int corrupt_demoted = 0;     // DONE slots failing the payload scrub
+    int corrupt_tensors = 0;     // individual tensors failing their CRC
+    int orphaned_extents = 0;    // LIVE extents nothing references
+    int overlap_violations = 0;  // overlapping LIVE extents
+    Bytes freed = 0;             // bytes released by repairs
+    Bytes gaps_adopted = 0;      // leaked heap bytes re-tracked (repair)
+    Bytes compacted = 0;         // tail bytes returned to bump (repair)
+    bool repaired = false;
+
+    // True when the image needed no attention. Housekeeping yields
+    // (gaps/compaction) do not count against cleanliness.
+    bool clean() const {
+      return torn_records == 0 && active_demoted == 0 && corrupt_demoted == 0 &&
+             corrupt_tensors == 0 && orphaned_extents == 0 &&
+             overlap_violations == 0;
+    }
+  };
+
+  explicit Fsck(PortusDaemon& daemon) : daemon_{daemon} {}
+
+  // Scan (and with repair=true, fix) the image. The daemon's DRAM state
+  // must already mirror PMEM (construct + recover() first).
+  Report run(bool repair);
+
+ private:
+  PortusDaemon& daemon_;
+};
+
+}  // namespace portus::core

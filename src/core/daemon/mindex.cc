@@ -115,7 +115,8 @@ MIndex MIndex::create(pmem::PmemDevice& device, PmemAllocator& allocator,
       ShardIdentity{idx.shard_id_, idx.shard_count_, idx.replica_, idx.replica_count_,
                     idx.placement_epoch_},
       idx.manifest_, idx.slot_size_, idx.tensors_);
-  idx.record_size_ = 8 + 2 * kSlotHeaderSize + meta_blob.size();
+  idx.meta_len_ = meta_blob.size();
+  idx.record_size_ = kMetaOffset + idx.meta_len_ + 2 * idx.crc_block_size();
   idx.record_offset_ = allocator.alloc(idx.record_size_);
   idx.slots_.resize(2);
   for (auto& slot : idx.slots_) {
@@ -124,7 +125,9 @@ MIndex MIndex::create(pmem::PmemDevice& device, PmemAllocator& allocator,
     slot.epoch = 0;
   }
 
-  // Persist the record: header, slot headers, metadata blob.
+  // Persist the record: header, slot headers, meta length + blob, and
+  // zeroed payload-CRC blocks (a zero guard never validates, so fresh
+  // slots read back as "no CRCs recorded" even on a reused extent).
   BinaryWriter head;
   head.u32(kMagic);
   head.u32(static_cast<std::uint32_t>(idx.record_size_));
@@ -133,7 +136,12 @@ MIndex MIndex::create(pmem::PmemDevice& device, PmemAllocator& allocator,
     device.write(idx.record_offset_ + kSlot0Offset + static_cast<Bytes>(i) * kSlotHeaderSize,
                  encode_slot_header(idx.slots_[static_cast<std::size_t>(i)]));
   }
-  device.write(idx.record_offset_ + kSlot0Offset + 2 * kSlotHeaderSize, meta_blob);
+  BinaryWriter len;
+  len.u32(static_cast<std::uint32_t>(idx.meta_len_));
+  device.write(idx.record_offset_ + kMetaLenOffset, len.buffer());
+  device.write(idx.record_offset_ + kMetaOffset, meta_blob);
+  const std::vector<std::byte> zeroed(2 * idx.crc_block_size());
+  device.write(idx.record_offset_ + kMetaOffset + idx.meta_len_, zeroed);
   device.persist(idx.record_offset_, idx.record_size_);
   return idx;
 }
@@ -147,7 +155,7 @@ MIndex MIndex::load(pmem::PmemDevice& device, Bytes record_offset) {
   BinaryReader hr{head};
   if (hr.u32() != kMagic) throw Corruption("MIndex magic mismatch");
   idx.record_size_ = hr.u32();
-  if (idx.record_size_ < 8 + 2 * kSlotHeaderSize + 4 ||
+  if (idx.record_size_ < kMetaOffset + 4 + 2 * 12 ||
       record_offset + idx.record_size_ > device.size()) {
     throw Corruption("MIndex record length implausible");
   }
@@ -163,9 +171,13 @@ MIndex MIndex::load(pmem::PmemDevice& device, Bytes record_offset) {
     idx.slots_[static_cast<std::size_t>(i)] = h.value_or(SlotHeader{});
   }
 
-  const Bytes blob_at = record_offset + kSlot0Offset + 2 * kSlotHeaderSize;
-  const Bytes blob_len = idx.record_size_ - (8 + 2 * kSlotHeaderSize);
-  const auto blob = device.read(blob_at, blob_len);
+  const auto len_raw = device.read(record_offset + kMetaLenOffset, 4);
+  BinaryReader lr{len_raw};
+  idx.meta_len_ = lr.u32();
+  if (idx.meta_len_ < 4 || kMetaOffset + idx.meta_len_ > idx.record_size_) {
+    throw Corruption("MIndex metadata length implausible");
+  }
+  const auto blob = device.read(record_offset + kMetaOffset, idx.meta_len_);
   if (Crc32::of(blob.data(), blob.size() - 4) !=
       [&] {
         BinaryReader tr{std::span<const std::byte>{blob}.subspan(blob.size() - 4)};
@@ -188,6 +200,7 @@ MIndex MIndex::load(pmem::PmemDevice& device, Bytes record_offset) {
   idx.manifest_ = r.bytes();
   idx.slot_size_ = r.u64();
   const auto count = r.u32();
+  if (count > 1u << 20) throw Corruption("implausible tensor count in MIndex");
   idx.tensors_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     IndexedTensor t;
@@ -201,7 +214,45 @@ MIndex MIndex::load(pmem::PmemDevice& device, Bytes record_offset) {
     t.offset_in_slot = r.u64();
     idx.tensors_.push_back(std::move(t));
   }
+  if (idx.record_size_ != kMetaOffset + idx.meta_len_ + 2 * idx.crc_block_size()) {
+    throw Corruption("MIndex record length inconsistent with tensor count");
+  }
   return idx;
+}
+
+Bytes MIndex::crc_block_size() const {
+  return 12 + 4 * static_cast<Bytes>(tensors_.size());
+}
+
+Bytes MIndex::crc_block_offset(int i) const {
+  return record_offset_ + kMetaOffset + meta_len_ +
+         static_cast<Bytes>(i) * crc_block_size();
+}
+
+std::optional<MIndex::PayloadCrcs> MIndex::payload_crcs(int i) const {
+  PORTUS_CHECK_ARG(i == 0 || i == 1, "slot index out of range");
+  const auto raw = device_->read(crc_block_offset(i), crc_block_size());
+  BinaryReader r{raw};
+  PayloadCrcs out;
+  out.epoch = r.u64();
+  out.crcs.resize(tensors_.size());
+  for (auto& c : out.crcs) c = r.u32();
+  if (r.u32() != Crc32::of(raw.data(), raw.size() - 4)) return std::nullopt;
+  return out;
+}
+
+void MIndex::set_payload_crcs(int i, std::uint64_t epoch,
+                              const std::vector<std::uint32_t>& crcs) {
+  PORTUS_CHECK_ARG(i == 0 || i == 1, "slot index out of range");
+  PORTUS_CHECK_ARG(crcs.size() == tensors_.size(),
+                   "payload CRC count != tensor count");
+  BinaryWriter w;
+  w.u64(epoch);
+  for (const auto c : crcs) w.u32(c);
+  w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
+  const Bytes at = crc_block_offset(i);
+  device_->write(at, w.buffer());
+  device_->persist(at, crc_block_size());
 }
 
 std::vector<ChunkSpan> MIndex::chunk_spans(Bytes chunk_bytes) const {

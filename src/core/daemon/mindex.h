@@ -12,8 +12,17 @@
 //   [u32 magic][u32 record_len]
 //   [slot0: u32 state | u64 epoch | u64 data_offset | u32 crc]   (24 B)
 //   [slot1: ditto]
+//   [u32 meta_len]
 //   [meta blob: name, phantom flag, shard identity, manifest blob,
 //    slot_size, tensor entries..., u32 crc]
+//   [payload-CRC block 0][payload-CRC block 1]
+//
+// Each payload-CRC block is [u64 epoch][per-tensor u32 CRC x T][u32 guard]
+// (guard = CRC over the preceding bytes). The pipelined datapath computes
+// the per-tensor CRCs inline as checkpoint chunks land and persists the
+// block BEFORE the slot flips DONE, so every DONE slot has a valid block:
+// restore and `portusctl fsck` verify the TensorData against it, and a
+// DONE slot whose block is torn or stale is itself proof of corruption.
 //
 // Sharded models (core/cluster/) store one MIndex per shard copy under the
 // shard-scoped ModelTable key; the meta blob then carries the copy's shard
@@ -71,7 +80,9 @@ class MIndex {
  public:
   static constexpr std::uint32_t kMagic = 0x584D4950;  // "PIMX"
   static constexpr Bytes kSlotHeaderSize = 24;
-  static constexpr Bytes kSlot0Offset = 8;  // after magic + record_len
+  static constexpr Bytes kSlot0Offset = 8;     // after magic + record_len
+  static constexpr Bytes kMetaLenOffset = 56;  // after both slot headers
+  static constexpr Bytes kMetaOffset = 60;
 
   // Build a fresh record from a registration packet: allocates the record
   // itself and both TensorData slots, persists everything.
@@ -125,16 +136,36 @@ class MIndex {
   // holds again when a repacked model resumes training.
   void ensure_slot(int i, PmemAllocator& allocator);
 
+  // --- per-slot payload integrity block ---
+  struct PayloadCrcs {
+    std::uint64_t epoch = 0;
+    std::vector<std::uint32_t> crcs;  // one per tensor, in tensors() order
+  };
+  // Read slot i's payload-CRC block from the device. nullopt when the
+  // guard CRC does not validate (block never written, or torn by a crash
+  // before the post-data persist completed). A valid block whose epoch
+  // differs from the slot header's is stale and must be treated the same.
+  std::optional<PayloadCrcs> payload_crcs(int i) const;
+  // Write and persist slot i's block. crcs.size() must match tensors().
+  // Called after the slot's TensorData persisted but BEFORE the DONE flip,
+  // extending the crash-consistency ordering to ACTIVE -> data -> CRC
+  // block -> DONE.
+  void set_payload_crcs(int i, std::uint64_t epoch,
+                        const std::vector<std::uint32_t>& crcs);
+
   // Release both TensorData regions and the record itself.
   void destroy(PmemAllocator& allocator);
 
  private:
   MIndex() = default;
   void persist_slot_header(int i);
+  Bytes crc_block_size() const;       // 12 + 4 * tensors_.size()
+  Bytes crc_block_offset(int i) const;
 
   pmem::PmemDevice* device_ = nullptr;
   Bytes record_offset_ = 0;
   Bytes record_size_ = 0;
+  Bytes meta_len_ = 0;
   std::string model_name_;
   bool phantom_ = false;
   std::uint32_t shard_id_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
 #include "common/strformat.h"
 #include "mem/segment.h"
 
@@ -44,6 +45,7 @@ sim::Process PipelinedTransfer::run_local_copy(std::uint64_t wr_id, TransferChun
 }
 
 sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
+  chunk_crcs_.clear();
   const std::size_t lanes = std::max<std::size_t>(1, qps_.size());
   const Time start = engine_.now();
   Time last_change = start;
@@ -122,6 +124,18 @@ sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
       }
       continue;
     }
+    if (c.collect_crc) {
+      // CRC before the persist: same bytes either way (persist only changes
+      // durability state), but the read models the inline checksum landing
+      // while the line is still cache-hot.
+      PORTUS_CHECK(device_ != nullptr, "collect_crc chunk with no PMEM binding");
+      const Bytes at = c.kind == TransferChunk::Kind::kLocalCopy ? c.dst_offset
+                                                                 : c.persist_offset;
+      chunk_crcs_.push_back(ChunkCrc{.tensor_index = c.tensor_index,
+                                     .tensor_offset = c.tensor_offset,
+                                     .len = c.len,
+                                     .crc = device_->crc(at, c.len)});
+    }
     if (c.persist_after) {
       PORTUS_CHECK(device_ != nullptr, "persist_after chunk with no PMEM binding");
       device_->persist(c.persist_offset, c.len);
@@ -131,6 +145,34 @@ sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
   account(0);  // close the occupancy integral at the final timestamp
   stats_.busy += engine_.now() - start;
   PORTUS_CHECK(failure.empty(), failure);
+}
+
+std::vector<std::uint32_t> PipelinedTransfer::tensor_crcs(std::size_t tensor_count) const {
+  std::vector<std::vector<const ChunkCrc*>> per_tensor(tensor_count);
+  for (const auto& c : chunk_crcs_) {
+    PORTUS_CHECK(c.tensor_index < tensor_count, "chunk CRC for out-of-range tensor");
+    per_tensor[c.tensor_index].push_back(&c);
+  }
+  std::vector<std::uint32_t> out(tensor_count, 0);
+  for (std::size_t t = 0; t < tensor_count; ++t) {
+    auto& parts = per_tensor[t];
+    PORTUS_CHECK(!parts.empty(), strf("no CRC chunks collected for tensor {}", t));
+    // Chunks complete out of order across lanes; stitch them back together
+    // by offset and fold with CRC combination instead of re-reading payload.
+    std::sort(parts.begin(), parts.end(), [](const ChunkCrc* a, const ChunkCrc* b) {
+      return a->tensor_offset < b->tensor_offset;
+    });
+    Bytes cursor = 0;
+    std::uint32_t acc = 0;
+    for (const auto* c : parts) {
+      PORTUS_CHECK(c->tensor_offset == cursor,
+                   strf("CRC chunk coverage gap in tensor {} at offset {}", t, cursor));
+      acc = cursor == 0 ? c->crc : Crc32::combine(acc, c->crc, c->len);
+      cursor += c->len;
+    }
+    out[t] = acc;
+  }
+  return out;
 }
 
 }  // namespace portus::core

@@ -67,6 +67,13 @@ struct TransferChunk {
   // chunk's completion drains (checkpoint path only).
   bool persist_after = false;
   Bytes persist_offset = 0;
+
+  // When set, CRC the landed bytes right after the chunk completes (before
+  // anything can overwrite them) and record it under (tensor_index,
+  // tensor_offset) for tensor_crcs(). Checkpoint integrity path only; never
+  // set on phantom chunks (their payload is simulated, not materialized).
+  bool collect_crc = false;
+  Bytes tensor_offset = 0;  // byte offset of this chunk within its tensor
 };
 
 class PipelinedTransfer {
@@ -111,7 +118,21 @@ class PipelinedTransfer {
 
   const Stats& stats() const { return stats_; }
 
+  // Fold the chunk CRCs collected by the last run() into one CRC32 per
+  // tensor (CRC of the tensor's full payload, via Crc32::combine). Every
+  // tensor in [0, tensor_count) must be completely covered by contiguous
+  // collect_crc chunks — a gap means the caller built an inconsistent work
+  // list and is a programming error, not data corruption.
+  std::vector<std::uint32_t> tensor_crcs(std::size_t tensor_count) const;
+
  private:
+  struct ChunkCrc {
+    std::size_t tensor_index = 0;
+    Bytes tensor_offset = 0;
+    Bytes len = 0;
+    std::uint32_t crc = 0;
+  };
+
   sim::Process run_local_copy(std::uint64_t wr_id, TransferChunk chunk);
 
   sim::Engine& engine_;
@@ -123,6 +144,7 @@ class PipelinedTransfer {
   Bandwidth copy_read_bw_ = Bandwidth::unlimited();
   std::uint64_t next_wr_id_ = 0xB1BE0000ull;
   Stats stats_;
+  std::vector<ChunkCrc> chunk_crcs_;
 };
 
 }  // namespace portus::core

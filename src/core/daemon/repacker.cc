@@ -43,10 +43,13 @@ Repacker::Report Repacker::repack() {
     }
   }
 
+  // Adopt heap bytes orphaned by torn AllocTable entries before compacting,
+  // so a leaked extent adjacent to the tail is reclaimed in the same pass.
+  report.gaps_adopted = allocator.sweep_gaps();
   report.compacted = allocator.compact();
-  PLOG_INFO("repacker", "freed {} outdated + {} crashed, compacted {}",
+  PLOG_INFO("repacker", "freed {} outdated + {} crashed, adopted {} leaked, compacted {}",
             format_bytes(report.freed_outdated), format_bytes(report.freed_crashed),
-            format_bytes(report.compacted));
+            format_bytes(report.gaps_adopted), format_bytes(report.compacted));
   return report;
 }
 

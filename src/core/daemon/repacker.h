@@ -25,6 +25,7 @@ class Repacker {
   struct Report {
     Bytes freed_outdated = 0;   // scenario (1)
     Bytes freed_crashed = 0;    // scenario (2)
+    Bytes gaps_adopted = 0;     // leaked (torn-entry) heap bytes re-tracked
     Bytes compacted = 0;        // returned to the bump region
     int slots_cleared = 0;
   };

@@ -61,6 +61,24 @@ std::string Portusctl::render_stats() {
   return out;
 }
 
+std::string Portusctl::render_fsck(const Fsck::Report& r) {
+  std::string out = strf("--- fsck ({}) ---\n", r.repaired ? "repair" : "verify-only");
+  out += strf("{:<28}{}\n", "models scanned", r.models_scanned);
+  out += strf("{:<28}{}\n", "torn records", r.torn_records);
+  out += strf("{:<28}{}\n", "ACTIVE slots demoted", r.active_demoted);
+  out += strf("{:<28}{}\n", "corrupt slots demoted", r.corrupt_demoted);
+  out += strf("{:<28}{}\n", "tensors failing CRC", r.corrupt_tensors);
+  out += strf("{:<28}{}\n", "orphaned extents", r.orphaned_extents);
+  out += strf("{:<28}{}\n", "overlap violations", r.overlap_violations);
+  if (r.repaired) {
+    out += strf("{:<28}{}\n", "bytes freed", format_bytes(r.freed));
+    out += strf("{:<28}{}\n", "leaked bytes adopted", format_bytes(r.gaps_adopted));
+    out += strf("{:<28}{}\n", "tail compacted", format_bytes(r.compacted));
+  }
+  out += strf("image {}\n", r.clean() ? "clean" : "had inconsistencies");
+  return out;
+}
+
 sim::SubTask<storage::CheckpointFile> Portusctl::dump(const std::string& model_name) {
   const MIndex* live = daemon_.find_live_index(model_name);
   std::optional<MIndex> loaded;

@@ -6,6 +6,9 @@
 //                                       container ("PTCK", readable by any
 //                                       framework-side loader)
 //   portusctl repack DEVICE          -> reclaim invalid checkpoint versions
+//   portusctl fsck DEVICE            -> scrub the whole image (payload CRCs,
+//                                       slot states, allocator consistency)
+//                                       and repair it to a restorable state
 //
 // This header is the library behind the CLI in tools/portusctl_main.cc; the
 // admin runs it on the storage node against a (quiesced) daemon.
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "core/daemon/daemon.h"
+#include "core/daemon/fsck.h"
 #include "core/daemon/repacker.h"
 #include "storage/filesystem.h"
 #include "storage/serializer.h"
@@ -58,6 +62,12 @@ class Portusctl {
 
   // `portusctl repack`.
   Repacker::Report repack() { return Repacker{daemon_}.repack(); }
+
+  // `portusctl fsck`: scrub payloads against their CRC blocks, demote
+  // ACTIVE/corrupt slots, and sweep orphaned extents. repair=false only
+  // reports (the CLI's --verify-only).
+  Fsck::Report fsck(bool repair = true) { return Fsck{daemon_}.run(repair); }
+  std::string render_fsck(const Fsck::Report& r);
 
  private:
   PortusDaemon& daemon_;

@@ -103,6 +103,7 @@ RegisterModelMsg decode_register_model(std::span<const std::byte> wire) {
   m.placement_epoch = r.u64();
   m.manifest = r.bytes();
   const auto count = r.u32();
+  if (count > 1u << 20) throw Corruption("implausible tensor count in registration");
   m.tensors.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     TensorDesc t;
@@ -172,6 +173,7 @@ std::vector<std::byte> encode(const CheckpointDoneMsg& m) {
   w.str(m.model_name);
   w.u64(m.epoch);
   put_status(w, m.ok, m.error);
+  w.u32(m.payload_crc);
   return w.take();
 }
 
@@ -182,6 +184,7 @@ CheckpointDoneMsg decode_checkpoint_done(std::span<const std::byte> wire) {
   m.epoch = r.u64();
   m.ok = r.u8() != 0;
   m.error = r.str();
+  m.payload_crc = r.u32();
   return m;
 }
 
@@ -207,6 +210,7 @@ std::vector<std::byte> encode(const RestoreDoneMsg& m) {
   w.str(m.model_name);
   w.u64(m.epoch);
   put_status(w, m.ok, m.error);
+  w.u32(m.payload_crc);
   return w.take();
 }
 
@@ -217,6 +221,7 @@ RestoreDoneMsg decode_restore_done(std::span<const std::byte> wire) {
   m.epoch = r.u64();
   m.ok = r.u8() != 0;
   m.error = r.str();
+  m.payload_crc = r.u32();
   return m;
 }
 

@@ -33,7 +33,8 @@ namespace portus::core {
 // a stale client and daemon reject each other explicitly instead of
 // misparsing the body. Bump kProtocolVersion on any wire-layout change.
 inline constexpr std::uint32_t kProtocolMagic = 0x50545553;  // "PTUS"
-inline constexpr std::uint16_t kProtocolVersion = 2;
+// v3: CheckpointDoneMsg / RestoreDoneMsg grew payload_crc.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 enum class MsgType : std::uint8_t {
   kRegisterModel = 1,
@@ -121,6 +122,10 @@ struct CheckpointDoneMsg {
   std::uint64_t epoch = 0;
   bool ok = false;
   std::string error;
+  // CRC-of-per-tensor-CRCs over the payload the daemon persisted (matches
+  // dnn::Model::weights_crc()); 0 when !ok or for phantom models. Lets the
+  // client end-to-end verify that what landed on PMEM is what it sent.
+  std::uint32_t payload_crc = 0;
 };
 
 struct RestoreReqMsg {
@@ -137,6 +142,10 @@ struct RestoreDoneMsg {
   std::uint64_t epoch = 0;
   bool ok = false;
   std::string error;
+  // Aggregate payload CRC of the version served (see CheckpointDoneMsg);
+  // verified against the persisted payload-CRC block before any byte is
+  // pushed, so ok=true implies the tensors passed the integrity scrub.
+  std::uint32_t payload_crc = 0;
 };
 
 struct FinishJobMsg {

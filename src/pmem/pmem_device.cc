@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/rng.h"
+
 namespace portus::pmem {
 
 PmemDevice::PmemDevice(std::string name, Bytes size, std::uint64_t base_addr,
@@ -35,8 +37,13 @@ void PmemDevice::mark_dirty(Bytes offset, Bytes len) {
 void PmemDevice::persist(Bytes offset, Bytes len) {
   check_range(offset, len);
   if (len == 0) return;
-  std::lock_guard lock{dirty_mu_};
-  persist_locked(offset, len);
+  const auto seq = persist_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (persist_observer_) persist_observer_(seq, /*after=*/false);
+  {
+    std::lock_guard lock{dirty_mu_};
+    persist_locked(offset, len);
+  }
+  if (persist_observer_) persist_observer_(seq, /*after=*/true);
 }
 
 void PmemDevice::persist_locked(Bytes offset, Bytes len) {
@@ -59,8 +66,13 @@ void PmemDevice::persist_locked(Bytes offset, Bytes len) {
 }
 
 void PmemDevice::persist_all() {
-  std::lock_guard lock{dirty_mu_};
-  dirty_.clear();
+  const auto seq = persist_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (persist_observer_) persist_observer_(seq, /*after=*/false);
+  {
+    std::lock_guard lock{dirty_mu_};
+    dirty_.clear();
+  }
+  if (persist_observer_) persist_observer_(seq, /*after=*/true);
 }
 
 bool PmemDevice::is_persisted(Bytes offset, Bytes len) const {
@@ -90,6 +102,40 @@ void PmemDevice::simulate_crash() {
     fill_raw(start, end - start, std::byte{0xCC});
   }
   dirty_.clear();
+}
+
+void PmemDevice::power_cut(std::uint64_t seed) {
+  std::lock_guard lock{dirty_mu_};
+  ++crash_count_;
+  Rng rng{seed};
+  for (const auto& [start, end] : dirty_) {
+    // Cache-line granularity: the CPU loses whole 64-byte lines, not the
+    // exact byte spans the software dirtied.
+    for (Bytes line = start & ~Bytes{63}; line < end; line += 64) {
+      const Bytes lo = std::max(line, start);
+      const Bytes hi = std::min({line + 64, end, size()});
+      if (lo >= hi) continue;
+      // 25% drained (survives), 25% torn (garbage), 50% lost (zeros).
+      const auto roll = rng.uniform(0, 3);
+      if (roll == 0) continue;
+      if (roll == 1) {
+        std::vector<std::byte> noise(hi - lo);
+        rng.fill(noise);
+        write_raw(lo, noise);
+      } else {
+        fill_raw(lo, hi - lo, std::byte{0});
+      }
+    }
+  }
+  dirty_.clear();
+}
+
+std::vector<std::pair<Bytes, Bytes>> PmemDevice::dirty_ranges() const {
+  std::lock_guard lock{dirty_mu_};
+  std::vector<std::pair<Bytes, Bytes>> out;
+  out.reserve(dirty_.size());
+  for (const auto& [start, end] : dirty_) out.emplace_back(start, end);
+  return out;
 }
 
 }  // namespace portus::pmem

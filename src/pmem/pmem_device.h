@@ -16,10 +16,14 @@
 // PMEM over RDMA" guidance of the paper's ref [43].
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/units.h"
 #include "mem/segment.h"
@@ -49,7 +53,33 @@ class PmemDevice final : public mem::MemorySegment {
   // clears the dirty set. Durable data is untouched.
   void simulate_crash();
 
+  // Finer-grained power failure: every dirty 64-byte cache line is
+  // *independently* lost to zeros (the common case — the line never left
+  // the cache), garbled with pseudo-random bytes (a torn write caught
+  // mid-line), or survives intact (it drained into the ADR domain just
+  // before the cut). Deterministic for a given seed and dirty set, so a
+  // crashpoint run is exactly reproducible. Durable data is untouched.
+  void power_cut(std::uint64_t seed);
+
   std::uint64_t crash_count() const { return crash_count_; }
+
+  // Snapshot of the volatile ranges, as [start, end) pairs in offset order.
+  std::vector<std::pair<Bytes, Bytes>> dirty_ranges() const;
+
+  // Persist-point recorder hook: called around every persist()/persist_all()
+  // with a dense 1-based sequence number — once with after=false (the fence
+  // is about to run: maximal dirty set) and once with after=true (it
+  // completed). After fence k completes, persist_seq() == k.
+  // Invoked OUTSIDE the dirty-set lock, so the observer may read
+  // dirty_ranges()/save_image(). Not thread-safe: attach only in
+  // single-threaded harnesses (sim/crashpoint.h).
+  using PersistObserver = std::function<void(std::uint64_t seq, bool after)>;
+  void set_persist_observer(PersistObserver observer) {
+    persist_observer_ = std::move(observer);
+  }
+  std::uint64_t persist_seq() const {
+    return persist_seq_.load(std::memory_order_relaxed);
+  }
 
   // MemorySegment persistence hook.
   void mark_dirty(Bytes offset, Bytes len) override;
@@ -63,6 +93,8 @@ class PmemDevice final : public mem::MemorySegment {
   std::map<Bytes, Bytes> dirty_;
   PmemPerfModel model_;
   std::uint64_t crash_count_ = 0;
+  std::atomic<std::uint64_t> persist_seq_{0};
+  PersistObserver persist_observer_;
 };
 
 }  // namespace portus::pmem

@@ -1,0 +1,58 @@
+#include "sim/crashpoint.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace portus::sim {
+
+CrashpointRecorder::CrashpointRecorder(pmem::PmemDevice& device, Options options)
+    : device_{device}, options_{options} {
+  PORTUS_CHECK_ARG(options_.stride >= 1, "crashpoint stride must be >= 1");
+  device_.set_persist_observer(
+      [this](std::uint64_t seq, bool after) { on_boundary(seq, after); });
+  attached_ = true;
+}
+
+CrashpointRecorder::~CrashpointRecorder() { detach(); }
+
+void CrashpointRecorder::detach() {
+  if (!attached_) return;
+  device_.set_persist_observer({});
+  attached_ = false;
+}
+
+void CrashpointRecorder::on_boundary(std::uint64_t seq, bool after) {
+  if (seq % options_.stride != 0) return;
+  if (after && !options_.both_phases) return;
+  if (!after) {
+    // Snapshot once per fence; the after-phase point shares it (a persist
+    // changes durability state, never byte contents).
+    std::ostringstream img;
+    device_.save_image(img);
+    current_image_ = std::make_shared<const std::string>(img.str());
+  }
+  PORTUS_CHECK(current_image_ != nullptr, "crashpoint after-phase with no snapshot");
+  points_.push_back(CrashPoint{.ordinal = points_.size(),
+                               .persist_seq = seq,
+                               .after_persist = after,
+                               .image = current_image_,
+                               .dirty = device_.dirty_ranges()});
+}
+
+void CrashpointRecorder::materialize(const CrashPoint& point, pmem::PmemDevice& target,
+                                     std::uint64_t seed) {
+  PORTUS_CHECK_ARG(point.image != nullptr, "crash point carries no snapshot");
+  // The snapshot holds *all* bytes as of the boundary, volatile ones
+  // included: restore it, declare everything durable, then resurrect the
+  // recorded dirty set and let the power cut tear exactly those lines.
+  std::istringstream in{*point.image};
+  target.load_image(in);
+  target.persist_all();
+  for (const auto& [start, end] : point.dirty) {
+    target.mark_dirty(start, end - start);
+  }
+  target.power_cut(seed);
+}
+
+}  // namespace portus::sim

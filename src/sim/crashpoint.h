@@ -1,0 +1,90 @@
+// Crashpoint torture harness: enumerate every persist boundary of a
+// workload and reconstruct the exact PMEM image a power failure at that
+// boundary would leave behind.
+//
+// PmemDevice numbers each persist()/persist_all() fence with a dense
+// sequence counter and exposes an observer hook around it. The recorder
+// attaches to that hook and, at every boundary, snapshots
+//   (a) the device image (all materialized bytes), and
+//   (b) the volatile (dirty) range set,
+// once with the fence about to run (maximal dirty set — a cut here models
+// power failing just before the flush) and once right after it completed
+// (the bytes it covered are now durable). Each snapshot is a CrashPoint.
+//
+// materialize() then rebuilds the post-crash image on a fresh device:
+// load the snapshot, mark the recorded ranges dirty again, and fire
+// power_cut(seed) so every unpersisted cache line independently survives,
+// tears, or vanishes.
+//
+// Equivalence to replaying the workload prefix: the simulation is fully
+// deterministic (virtual time, seeded RNGs), so the device state at persist
+// boundary k of a replayed run is byte-identical to the state snapshotted
+// at boundary k of the recorded run. Snapshotting turns an O(n^2)
+// replay-per-boundary torture run into O(n) — one workload execution, then
+// one recovery per boundary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "pmem/pmem_device.h"
+
+namespace portus::sim {
+
+// One persist boundary of the recorded workload: everything needed to
+// reconstruct the image a power cut at this exact point would leave.
+struct CrashPoint {
+  std::uint64_t ordinal = 0;      // dense index over recorded points
+  std::uint64_t persist_seq = 0;  // device persist counter at the boundary
+  bool after_persist = false;     // false: fence about to run; true: it ran
+  // Full device contents at the boundary (shared between the before/after
+  // points of one fence — a persist changes durability, not bytes).
+  std::shared_ptr<const std::string> image;
+  // Volatile [start, end) ranges at the boundary — what a power cut tears.
+  std::vector<std::pair<Bytes, Bytes>> dirty;
+};
+
+class CrashpointRecorder {
+ public:
+  struct Options {
+    std::uint64_t stride = 1;  // record every Nth fence (1 = all of them)
+    bool both_phases = true;   // also record the boundary after the fence
+  };
+
+  // Attaches as the device's persist observer; recording starts at once
+  // and stops when the recorder is destroyed (or detach() is called).
+  // Single-threaded workloads only — see PmemDevice::set_persist_observer.
+  CrashpointRecorder(pmem::PmemDevice& device, Options options);
+  explicit CrashpointRecorder(pmem::PmemDevice& device)
+      : CrashpointRecorder(device, Options{}) {}
+  ~CrashpointRecorder();
+
+  CrashpointRecorder(const CrashpointRecorder&) = delete;
+  CrashpointRecorder& operator=(const CrashpointRecorder&) = delete;
+
+  void detach();
+
+  // Every crash point recorded so far, in boundary order.
+  const std::vector<CrashPoint>& points() const { return points_; }
+
+  // Rebuild the post-crash image on `target` (same size as the recorded
+  // device): load the snapshot, re-mark the dirty set, fire
+  // power_cut(seed). Deterministic for a given (point, seed).
+  static void materialize(const CrashPoint& point, pmem::PmemDevice& target,
+                          std::uint64_t seed);
+
+ private:
+  void on_boundary(std::uint64_t seq, bool after);
+
+  pmem::PmemDevice& device_;
+  Options options_;
+  bool attached_ = false;
+  std::shared_ptr<const std::string> current_image_;  // this fence's snapshot
+  std::vector<CrashPoint> points_;
+};
+
+}  // namespace portus::sim

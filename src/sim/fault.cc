@@ -1,35 +1,52 @@
 #include "sim/fault.h"
 
+#include "common/logging.h"
+
 namespace portus::sim {
 
 const char* to_string(FaultMode m) {
   switch (m) {
     case FaultMode::kCrash: return "crash";
     case FaultMode::kHang: return "hang";
+    case FaultMode::kPowerCut: return "power-cut";
   }
   return "?";
 }
 
 void FaultInjector::register_target(const std::string& name, KillFn kill) {
   PORTUS_CHECK_ARG(kill != nullptr, "fault target needs a kill callback");
-  targets_[name] = Target{std::move(kill), /*killed=*/false};
+  const auto it = targets_.find(name);
+  if (it != targets_.end()) {
+    PLOG_INFO("faults", "target {} re-registered (was {}; armed faults against the old "
+              "incarnation are now inert)",
+              name, it->second.killed ? "killed" : "alive");
+  }
+  targets_[name] = Target{std::move(kill), /*killed=*/false, ++next_generation_};
 }
 
 void FaultInjector::deregister_target(const std::string& name) { targets_.erase(name); }
 
 void FaultInjector::kill_now(const std::string& name, FaultMode mode) {
   PORTUS_CHECK_ARG(targets_.contains(name), "unknown fault target: " + name);
-  fire(name, mode);
+  fire(name, mode, targets_.at(name).generation);
 }
 
 void FaultInjector::kill_after(const std::string& name, Duration delay, FaultMode mode) {
   PORTUS_CHECK_ARG(targets_.contains(name), "unknown fault target: " + name);
-  engine_.schedule(delay, [this, name, mode] { fire(name, mode); });
+  // Capture the incarnation the fault was armed against: if the target is
+  // re-registered (daemon restart) before the delay elapses, firing against
+  // the replacement would kill a process the test never aimed at.
+  const auto generation = targets_.at(name).generation;
+  engine_.schedule(delay, [this, name, mode, generation] { fire(name, mode, generation); });
 }
 
-void FaultInjector::fire(const std::string& name, FaultMode mode) {
+void FaultInjector::fire(const std::string& name, FaultMode mode,
+                         std::uint64_t generation) {
   const auto it = targets_.find(name);
-  if (it == targets_.end() || it->second.killed) return;  // late-firing no-op
+  if (it == targets_.end() || it->second.killed ||
+      it->second.generation != generation) {
+    return;  // deregistered, already dead, or a newer incarnation: no-op
+  }
   it->second.killed = true;
   ++kills_fired_;
   it->second.kill(mode);

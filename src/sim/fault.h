@@ -26,10 +26,14 @@
 namespace portus::sim {
 
 // How the target should fail.
-//   kCrash: crash-stop — connections drop, peers see Disconnected at once.
-//   kHang:  gray failure — the target stays reachable but never responds;
-//           peers only notice through their own timeouts.
-enum class FaultMode { kCrash, kHang };
+//   kCrash:    crash-stop — connections drop, peers see Disconnected at once.
+//   kHang:     gray failure — the target stays reachable but never responds;
+//              peers only notice through their own timeouts.
+//   kPowerCut: crash-stop preceded by device-level power loss — the target
+//              destroys its volatile (unpersisted) storage state first
+//              (pmem::PmemDevice::power_cut), then crash-stops. DMA already
+//              drained by the kill point stays durable (ADR semantics).
+enum class FaultMode { kCrash, kHang, kPowerCut };
 
 const char* to_string(FaultMode m);
 
@@ -43,6 +47,10 @@ class FaultInjector {
 
   // Register/replace a kill target. The callback runs from the engine's
   // event loop (kill_after) or inline (kill_now); it must not throw.
+  // Re-registering an existing name models a restart: the replacement is
+  // logged, the killed flag resets, and the incarnation generation bumps so
+  // faults armed against the previous incarnation can never fire on the
+  // new one (a revived daemon must not inherit its predecessor's death).
   void register_target(const std::string& name, KillFn kill);
 
   // Forget a target. Armed faults that fire later become no-ops.
@@ -64,11 +72,13 @@ class FaultInjector {
   struct Target {
     KillFn kill;
     bool killed = false;
+    std::uint64_t generation = 0;  // bumps on every (re-)registration
   };
-  void fire(const std::string& name, FaultMode mode);
+  void fire(const std::string& name, FaultMode mode, std::uint64_t generation);
 
   Engine& engine_;
   std::map<std::string, Target> targets_;
+  std::uint64_t next_generation_ = 0;
   int kills_fired_ = 0;
 };
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+#include <utility>
+
 #include "common/rng.h"
 #include "mem/address_space.h"
 #include "pmem/devdax.h"
@@ -71,6 +75,97 @@ TEST(PmemDeviceTest, CrashAfterFullPersistLosesNothing) {
   dev.persist_all();
   dev.simulate_crash();
   EXPECT_EQ(dev.read(0, data.size()), data);
+}
+
+TEST(PmemDeviceTest, PowerCutPreservesPersistedData) {
+  PmemDevice dev{"pmem", 16_MiB, 0x1000};
+  const auto durable = random_bytes(8192, 20);
+  const auto volatile_data = random_bytes(8192, 21);
+  dev.write(0, durable);
+  dev.persist(0, durable.size());
+  dev.write(64_KiB, volatile_data);
+
+  dev.power_cut(/*seed=*/7);
+
+  EXPECT_EQ(dev.read(0, durable.size()), durable) << "durable data must survive";
+  EXPECT_EQ(dev.dirty_bytes(), 0u) << "a power cut resolves all volatile state";
+  EXPECT_EQ(dev.crash_count(), 1u);
+}
+
+TEST(PmemDeviceTest, PowerCutIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    PmemDevice dev{"pmem", 16_MiB, 0x1000};
+    dev.write(0, random_bytes(32_KiB, 22));
+    dev.persist(0, 4096);  // first chunk durable, rest volatile
+    dev.power_cut(seed);
+    return dev.read(0, 32_KiB);
+  };
+  EXPECT_EQ(run(42), run(42)) << "same seed, same ops -> identical image";
+  EXPECT_NE(run(42), run(43)) << "different seeds must tear differently";
+}
+
+TEST(PmemDeviceTest, PowerCutDestroysSomeVolatileLines) {
+  PmemDevice dev{"pmem", 16_MiB, 0x1000};
+  const auto volatile_data = random_bytes(64_KiB, 23);
+  dev.write(0, volatile_data);
+
+  dev.power_cut(/*seed=*/1);
+
+  // Per 64-byte line: 25% survive, 25% garbage, 50% zeros. Over 1024 lines
+  // the chance of everything surviving intact is (1/4)^1024 — i.e. zero.
+  EXPECT_NE(dev.read(0, volatile_data.size()), volatile_data)
+      << "unflushed data must not survive a power cut intact";
+}
+
+TEST(PmemDeviceTest, PowerCutTearsAtCacheLineGranularity) {
+  PmemDevice dev{"pmem", 16_MiB, 0x1000};
+  const auto volatile_data = random_bytes(64_KiB, 24);
+  dev.write(0, volatile_data);
+  dev.power_cut(/*seed=*/5);
+
+  const auto after = dev.read(0, volatile_data.size());
+  int survived = 0, zeroed = 0, torn = 0;
+  for (std::size_t line = 0; line < after.size() / 64; ++line) {
+    const std::span<const std::byte> now{after.data() + line * 64, 64};
+    const std::span<const std::byte> was{volatile_data.data() + line * 64, 64};
+    if (std::equal(now.begin(), now.end(), was.begin())) {
+      ++survived;
+    } else if (std::all_of(now.begin(), now.end(),
+                           [](std::byte b) { return b == std::byte{0}; })) {
+      ++zeroed;
+    } else {
+      ++torn;
+    }
+  }
+  // All three outcomes must occur across 1024 lines (each is >= 25% likely).
+  EXPECT_GT(survived, 0) << "ADR may drain some lines";
+  EXPECT_GT(zeroed, 0) << "most lost lines read back as zeros";
+  EXPECT_GT(torn, 0) << "some lines tear into garbage";
+}
+
+TEST(PmemDeviceTest, PersistObserverSeesEveryBoundary) {
+  PmemDevice dev{"pmem", 16_MiB, 0x1000};
+  std::vector<std::pair<std::uint64_t, bool>> boundaries;
+  dev.set_persist_observer(
+      [&](std::uint64_t seq, bool after) { boundaries.emplace_back(seq, after); });
+
+  dev.write(0, random_bytes(4096, 25));
+  dev.persist(0, 4096);
+  dev.write(8192, random_bytes(4096, 26));
+  dev.persist_all();
+
+  ASSERT_EQ(boundaries.size(), 4u) << "before+after per fence, two fences";
+  EXPECT_EQ(boundaries[0], (std::pair<std::uint64_t, bool>{1, false}));
+  EXPECT_EQ(boundaries[1], (std::pair<std::uint64_t, bool>{1, true}));
+  EXPECT_EQ(boundaries[2], (std::pair<std::uint64_t, bool>{2, false}));
+  EXPECT_EQ(boundaries[3], (std::pair<std::uint64_t, bool>{2, true}));
+  EXPECT_EQ(dev.persist_seq(), 2u);
+
+  dev.set_persist_observer({});
+  dev.write(0, random_bytes(64, 27));
+  dev.persist(0, 64);
+  EXPECT_EQ(boundaries.size(), 4u) << "detached observer sees nothing";
+  EXPECT_EQ(dev.persist_seq(), 3u) << "the fence counter still advances";
 }
 
 TEST(PmemDeviceTest, PersistOutOfRangeThrows) {

@@ -1,0 +1,424 @@
+// Crashpoint torture harness (sim/crashpoint.h): enumerate every persist
+// boundary of real daemon workloads, reconstruct the post-power-cut image
+// at each one, and prove recovery invariants hold at all of them:
+//
+//   * recover() succeeds on every image;
+//   * every surviving DONE slot carries a valid payload-CRC block for its
+//     exact epoch, its TensorData matches the block bit-for-bit, and the
+//     aggregate equals the golden CRC of the model state that produced the
+//     epoch (end-to-end: GPU bytes -> RDMA -> PMEM -> crash -> recovery);
+//   * an epoch the client saw acknowledged before the boundary is never
+//     lost (newest DONE epoch >= the acked floor);
+//   * ACTIVE (crash-leftover) slots and torn records demote cleanly under
+//   	 fsck, orphaned/leaked extents are reclaimed, and a second fsck pass
+//     finds nothing — the repaired image is immediately serviceable;
+//   * the allocator heap never overlaps and, after repair, tracks every
+//     byte below the bump pointer.
+#include "sim/crashpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/crc32.h"
+#include "common/strformat.h"
+#include "core/client.h"
+#include "core/cluster/cluster_client.h"
+#include "core/cluster/manifest.h"
+#include "core/daemon/daemon.h"
+#include "core/daemon/fsck.h"
+#include "dnn/model_zoo.h"
+#include "net/cluster.h"
+
+namespace portus {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr Bytes kDevdax = 64_MiB;
+
+// One acknowledged checkpoint: the device persist counter observed when the
+// ack reached the client, and the epoch it committed. Any crash point whose
+// completed-fence count is >= seq must still expose an epoch >= this one.
+struct Ack {
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+};
+
+struct Recording {
+  std::vector<sim::CrashPoint> points;
+  std::map<std::uint64_t, std::uint32_t> golden;  // epoch -> aggregate CRC
+  std::vector<Ack> acks;
+};
+
+std::uint64_t acked_floor(const std::vector<Ack>& acks, const sim::CrashPoint& p) {
+  // At a before-phase boundary the fence has not run: only seq-1 completed.
+  const std::uint64_t completed = p.after_persist ? p.persist_seq : p.persist_seq - 1;
+  std::uint64_t floor = 0;
+  for (const auto& a : acks) {
+    if (a.seq <= completed) floor = std::max(floor, a.epoch);
+  }
+  return floor;
+}
+
+std::uint32_t crc_of_crcs(const std::vector<std::uint32_t>& crcs) {
+  Crc32 agg;
+  for (const auto c : crcs) agg.update(&c, sizeof c);
+  return agg.value();
+}
+
+// Reconstruct the image at `p` on a fresh single-node world, recover a
+// daemon over it, and check every invariant. `golden` maps every epoch the
+// workload ever attempted to the aggregate CRC of the exact model state
+// that was checkpointed as that epoch.
+void verify_point(const Recording& rec, const sim::CrashPoint& p) {
+  SCOPED_TRACE(::testing::Message() << "crash point #" << p.ordinal << " (fence "
+                                    << p.persist_seq << ", "
+                                    << (p.after_persist ? "after" : "before") << ")");
+  sim::Engine eng;
+  auto world = net::Cluster::Builder{}
+                   .add_node({.name = "server", .pmem_devdax = kDevdax})
+                   .build(eng);
+  core::QpRendezvous rendezvous;
+  core::PortusDaemon daemon{*world, world->node("server"), rendezvous};
+  auto& device = world->node("server").devdax().device();
+  sim::CrashpointRecorder::materialize(p, device, /*seed=*/0xC0FFEEull + p.ordinal);
+
+  ASSERT_NO_THROW(daemon.recover());
+
+  std::uint64_t max_done_epoch = 0;
+  for (const auto& name : daemon.model_table().names()) {
+    std::optional<core::MIndex> index;
+    try {
+      index.emplace(daemon.load_index(name));
+    } catch (const Error&) {
+      continue;  // torn record from a mid-registration cut; fsck handles it
+    }
+    for (int i = 0; i < 2; ++i) {
+      const auto& slot = index->slot(i);
+      if (slot.state != core::SlotState::kDone || index->phantom()) continue;
+      // Persist ordering ACTIVE -> data -> CRC block -> DONE means a DONE
+      // slot is a durability *proof*: block present, epoch exact, payload
+      // bit-identical to the model state that committed this epoch.
+      const auto block = index->payload_crcs(i);
+      ASSERT_TRUE(block.has_value()) << "DONE slot without a payload-CRC block";
+      EXPECT_EQ(block->epoch, slot.epoch) << "stale payload-CRC block on a DONE slot";
+      const auto& tensors = index->tensors();
+      ASSERT_EQ(block->crcs.size(), tensors.size());
+      for (std::size_t t = 0; t < tensors.size(); ++t) {
+        EXPECT_EQ(device.crc(slot.data_offset + tensors[t].offset_in_slot, tensors[t].size),
+                  block->crcs[t])
+            << "tensor " << t << " of " << name << " not bit-exact";
+      }
+      const auto want = rec.golden.find(slot.epoch);
+      ASSERT_NE(want, rec.golden.end()) << "DONE slot with an epoch never committed";
+      EXPECT_EQ(crc_of_crcs(block->crcs), want->second)
+          << "epoch " << slot.epoch << " does not restore the checkpointed state";
+      max_done_epoch = std::max(max_done_epoch, slot.epoch);
+    }
+  }
+
+  // Durability floor: a checkpoint acknowledged before this boundary must
+  // survive the cut (possibly superseded by a newer epoch, never lost).
+  EXPECT_GE(max_done_epoch, acked_floor(rec.acks, p)) << "acked checkpoint lost";
+
+  // Allocator heap: LIVE extents never overlap, at any boundary.
+  const auto check_no_overlap = [&] {
+    auto extents = daemon.allocator().extents();
+    std::sort(extents.begin(), extents.end(),
+              [](const auto& a, const auto& b) { return a.offset < b.offset; });
+    Bytes prev_end = 0;
+    for (const auto& e : extents) {
+      if (e.state != core::AllocState::kLive) continue;
+      EXPECT_GE(e.offset, prev_end) << "overlapping LIVE extents";
+      prev_end = e.offset + e.size;
+    }
+  };
+  check_no_overlap();
+
+  // fsck repair: demote crash leftovers, sweep leaks. Nothing a power cut
+  // leaves behind may look like payload corruption — persisted data is
+  // ADR-safe, so every DONE slot must pass the scrub.
+  auto report = core::Fsck{daemon}.run(/*repair=*/true);
+  EXPECT_EQ(report.corrupt_demoted, 0) << "a power cut must never corrupt a DONE slot";
+  EXPECT_EQ(report.corrupt_tensors, 0);
+  EXPECT_EQ(report.overlap_violations, 0);
+
+  // The repaired image: newest committed epoch intact, every heap byte
+  // below the bump tracked again, and a second pass finds nothing at all.
+  std::uint64_t max_after = 0;
+  for (const auto& name : daemon.model_table().names()) {
+    const auto index = daemon.load_index(name);  // all records load post-repair
+    for (int i = 0; i < 2; ++i) {
+      if (index.slot(i).state == core::SlotState::kDone) {
+        max_after = std::max(max_after, index.slot(i).epoch);
+      }
+      EXPECT_NE(index.slot(i).state, core::SlotState::kActive) << "ACTIVE survived fsck";
+    }
+  }
+  EXPECT_EQ(max_after, max_done_epoch) << "fsck demoted a valid DONE slot";
+  Bytes tracked = 0;
+  for (const auto& e : daemon.allocator().extents()) tracked += e.size;
+  EXPECT_EQ(tracked, daemon.allocator().bump() - core::PortusDaemon::kHeapOffset)
+      << "heap bytes leaked after repair";
+  check_no_overlap();
+
+  const auto second = core::Fsck{daemon}.run(/*repair=*/true);
+  EXPECT_TRUE(second.clean()) << "second fsck pass still found issues";
+  EXPECT_EQ(second.gaps_adopted, 0u);
+
+  eng.shutdown();
+}
+
+// --- workload 1: full + incremental checkpoints ------------------------------
+
+Recording record_checkpoint_workload() {
+  Recording rec;
+  sim::Engine eng;
+  auto world = net::Cluster::Builder{}
+                   .add_node({.name = "client", .gpu_count = 1})
+                   .add_node({.name = "server", .pmem_devdax = kDevdax})
+                   .build(eng);
+  core::QpRendezvous rendezvous;
+  core::PortusDaemon::Config cfg;
+  cfg.chunk_bytes = 64_KiB;
+  cfg.pipeline_window = 4;
+  cfg.stripes = 2;
+  core::PortusDaemon daemon{*world, world->node("server"), rendezvous, cfg};
+  daemon.start();
+  auto& device = daemon.device();
+
+  auto& client_node = world->node("client");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.01;
+  auto model = dnn::ModelZoo::create(client_node.gpu(0), "alexnet", opt);
+  core::PortusClient client{*world, client_node, client_node.gpu(0), rendezvous,
+                            "portusd", /*stripes=*/2};
+
+  sim::CrashpointRecorder recorder{device};
+  eng.spawn([](core::PortusClient& c, dnn::Model& m, pmem::PmemDevice& dev,
+               Recording& out) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      m.mutate_weights(k);
+      const auto golden = m.weights_crc();
+      const auto epoch = co_await c.checkpoint(m, k);
+      out.golden[epoch] = golden;
+      out.acks.push_back(Ack{dev.persist_seq(), epoch});
+      // End-to-end integrity: the CRC the daemon computed over what landed
+      // on PMEM equals the CRC of the GPU weights that were sent.
+      if (c.stats().last_payload_crc != golden) throw Error("payload CRC mismatch");
+    }
+    // Incremental round: nothing mutated, so the daemon RDMA-pulls the two
+    // dirty tensors and PMEM-copies the rest — payload stays bit-identical.
+    const auto golden = m.weights_crc();
+    std::vector<std::uint32_t> dirty{0, 1};
+    const auto epoch = co_await c.checkpoint_incremental(m, 4, std::move(dirty));
+    out.golden[epoch] = golden;
+    out.acks.push_back(Ack{dev.persist_seq(), epoch});
+    if (c.stats().last_payload_crc != golden) throw Error("incremental CRC mismatch");
+  }(client, model, device, rec));
+  eng.run();
+  recorder.detach();
+  rec.points = recorder.points();
+  eng.shutdown();
+  return rec;
+}
+
+TEST(CrashpointTest, EveryCheckpointBoundarySurvivesPowerCut) {
+  const auto rec = record_checkpoint_workload();
+  // Acceptance: the harness must enumerate a dense set of crash points —
+  // at least 100 distinct persist boundaries in this workload alone.
+  std::set<std::uint64_t> fences;
+  for (const auto& p : rec.points) fences.insert(p.persist_seq);
+  EXPECT_GE(fences.size(), 100u) << "persist-point recorder missed boundaries";
+  ASSERT_EQ(rec.golden.size(), 4u);
+
+  for (const auto& p : rec.points) {
+    verify_point(rec, p);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
+// --- workload 2: cluster-era shard registration ------------------------------
+
+Recording record_shard_workload(std::vector<std::byte>& manifest_wire) {
+  Recording rec;
+  sim::Engine eng;
+  auto world = net::Cluster::Builder{}
+                   .add_node({.name = "client", .gpu_count = 1})
+                   .add_node({.name = "server", .pmem_devdax = kDevdax})
+                   .build(eng);
+  core::QpRendezvous rendezvous;
+  core::PortusDaemon daemon{*world, world->node("server"), rendezvous};
+  daemon.start();
+  auto& device = daemon.device();
+
+  auto& client_node = world->node("client");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.01;
+  auto model = dnn::ModelZoo::create(client_node.gpu(0), "alexnet", opt);
+
+  // A real two-shard manifest over a one-daemon "ring".
+  core::cluster::ShardManifest mf;
+  mf.model_name = model.name();
+  mf.placement_epoch = 1;
+  mf.daemon_count = 2;
+  mf.replicas = 1;
+  mf.endpoints = {"portusd", "portusd"};  // both shards land on the one daemon
+  const auto n = model.tensors().size();
+  std::vector<std::uint32_t> front, back;
+  for (std::uint32_t t = 0; t < n; ++t) {
+    mf.tensors.push_back({model.tensors()[t].name(), model.tensors()[t].byte_size(),
+                          t < n / 2 ? 0u : 1u});
+    (t < n / 2 ? front : back).push_back(t);
+  }
+  mf.shard_daemons = {{0}, {1}};
+  manifest_wire = mf.encode();
+
+  core::PortusClient client{*world, client_node, client_node.gpu(0), rendezvous};
+  sim::CrashpointRecorder recorder{device};
+  eng.spawn([](core::PortusClient& c, dnn::Model& m, pmem::PmemDevice& dev, Recording& out,
+               std::vector<std::byte> wire, std::vector<std::uint32_t> s0,
+               std::vector<std::uint32_t> s1) -> sim::Process {
+    co_await c.connect();
+    const auto bind = [&](std::uint32_t shard, std::vector<std::uint32_t> idx) {
+      core::PortusClient::ShardBinding b;
+      b.reg_name = m.name() + "#s" + std::to_string(shard);
+      b.tensor_indices = std::move(idx);
+      b.shard_id = shard;
+      b.shard_count = 2;
+      b.placement_epoch = 1;
+      b.manifest = wire;
+      return b;
+    };
+    co_await c.register_shard(m, bind(0, s0));
+    co_await c.register_shard(m, bind(1, s1));
+    for (const auto shard : {0, 1}) {
+      const auto name = m.name() + "#s" + std::to_string(shard);
+      const auto epoch = co_await c.checkpoint_named(name, 1);
+      out.golden[epoch] = c.stats().last_payload_crc;
+      out.acks.push_back(Ack{dev.persist_seq(), epoch});
+    }
+  }(client, model, device, rec, manifest_wire, front, back));
+  eng.run();
+  recorder.detach();
+  rec.points = recorder.points();
+  eng.shutdown();
+  return rec;
+}
+
+TEST(CrashpointTest, ShardRegistrationBoundariesSurvivePowerCut) {
+  std::vector<std::byte> manifest_wire;
+  const auto rec = record_shard_workload(manifest_wire);
+  EXPECT_GE(rec.points.size(), 40u);
+
+  for (const auto& p : rec.points) {
+    SCOPED_TRACE(::testing::Message() << "crash point #" << p.ordinal);
+    sim::Engine eng;
+    auto world = net::Cluster::Builder{}
+                     .add_node({.name = "server", .pmem_devdax = kDevdax})
+                     .build(eng);
+    core::QpRendezvous rendezvous;
+    core::PortusDaemon daemon{*world, world->node("server"), rendezvous};
+    sim::CrashpointRecorder::materialize(p, world->node("server").devdax().device(),
+                                         /*seed=*/0xBADC0DEull + p.ordinal);
+    ASSERT_NO_THROW(daemon.recover());
+
+    // Every shard record that survived the cut must carry a decodable
+    // manifest identical to the registered one: the cluster placement is
+    // reconstructible from the image alone, at any boundary.
+    for (const auto& name : daemon.model_table().names()) {
+      std::optional<core::MIndex> index;
+      try {
+        index.emplace(daemon.load_index(name));
+      } catch (const Error&) {
+        continue;  // torn mid-registration record
+      }
+      ASSERT_TRUE(index->sharded());
+      EXPECT_EQ(index->shard_count(), 2u);
+      EXPECT_EQ(index->manifest(), manifest_wire);
+      const auto decoded = core::cluster::ShardManifest::decode(index->manifest());
+      EXPECT_EQ(decoded.model_name, "alexnet");
+      EXPECT_EQ(decoded.shard_daemons.size(), 2u);
+    }
+
+    auto report = core::Fsck{daemon}.run(/*repair=*/true);
+    EXPECT_EQ(report.corrupt_demoted, 0);
+    EXPECT_EQ(report.overlap_violations, 0);
+    EXPECT_TRUE(core::Fsck{daemon}.run(/*repair=*/true).clean());
+    eng.shutdown();
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
+// --- FaultMode::kPowerCut through the injector, in a live cluster ------------
+
+TEST(CrashpointTest, ClusterSurvivesInjectedPowerCut) {
+  sim::Engine eng;
+  auto cluster = net::Cluster::sharded_testbed(eng, 3);
+  core::QpRendezvous rendezvous;
+  sim::FaultInjector faults{eng};
+  std::vector<std::unique_ptr<core::PortusDaemon>> daemons;
+  core::cluster::ClusterClient::Config ccfg;
+  ccfg.replicas = 2;
+  ccfg.op_timeout = 50ms;
+  for (int i = 0; i < 3; ++i) {
+    core::PortusDaemon::Config cfg;
+    cfg.endpoint = strf("portusd{}", i);
+    cfg.faults = &faults;
+    ccfg.endpoints.push_back(cfg.endpoint);
+    daemons.push_back(std::make_unique<core::PortusDaemon>(
+        *cluster, cluster->node(strf("pmem{}", i)), rendezvous, cfg));
+    daemons.back()->start();
+  }
+
+  auto& volta = cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.05;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+  core::cluster::ClusterClient client{*cluster, volta, volta.gpu(0), rendezvous, ccfg};
+
+  bool done = false;
+  auto proc = eng.spawn([](sim::FaultInjector& faults,
+                           core::cluster::ClusterClient& c, dnn::Model& m,
+                           bool& ok) -> sim::Process {
+    co_await c.register_model(m);
+    co_await c.checkpoint(1);
+
+    // Power fails on one ring member in the middle of the next round: its
+    // unpersisted lines are lost/torn, its sockets drop. Replication (R=2)
+    // must carry the round and the restore regardless.
+    m.mutate_weights(2);
+    faults.kill_after("portusd1", 200us, sim::FaultMode::kPowerCut);
+    const auto ck = co_await c.checkpoint(2);
+    if (ck.epoch != 2) throw Error("checkpoint 2 did not commit");
+    const auto golden = m.weights_crc();
+
+    m.mutate_weights(99);  // diverge, then pull epoch 2 back
+    const auto rr = co_await c.restore();
+    if (rr.epoch != 2) throw Error("restore served the wrong epoch");
+    if (m.weights_crc() != golden) throw Error("restore not bit-exact");
+    ok = true;
+  }(faults, client, model, done));
+  eng.run();
+  proc.check();
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(faults.killed("portusd1"));
+  EXPECT_GE(daemons[1]->device().crash_count(), 1u);
+
+  // The powered-off daemon restarts over whatever its device holds now:
+  // recovery + fsck must leave a clean, serviceable image.
+  daemons[1]->recover();
+  auto report = core::Fsck{*daemons[1]}.run(/*repair=*/true);
+  EXPECT_EQ(report.corrupt_demoted, 0);
+  EXPECT_EQ(report.overlap_violations, 0);
+  EXPECT_TRUE(core::Fsck{*daemons[1]}.run(/*repair=*/true).clean());
+  eng.shutdown();
+}
+
+}  // namespace
+}  // namespace portus

@@ -65,6 +65,48 @@ TEST(FaultTest, DeregisteredTargetIgnoresArmedFault) {
   eng.shutdown();
 }
 
+TEST(FaultTest, ReRegisterDisarmsFaultsAgainstOldIncarnation) {
+  Engine eng;
+  FaultInjector faults{eng};
+  int old_hits = 0, new_hits = 0;
+  faults.register_target("d0", [&](FaultMode) { ++old_hits; });
+  faults.kill_after("d0", 2ms);
+  // Daemon restarts before the armed fault fires: the new incarnation must
+  // not inherit its predecessor's death sentence.
+  faults.register_target("d0", [&](FaultMode) { ++new_hits; });
+  eng.run();
+  EXPECT_EQ(old_hits, 0);
+  EXPECT_EQ(new_hits, 0) << "fault armed against the old incarnation is inert";
+  EXPECT_EQ(faults.kills_fired(), 0);
+  EXPECT_FALSE(faults.killed("d0"));
+
+  // The new incarnation is an ordinary target: fresh faults land on it.
+  faults.kill_now("d0", FaultMode::kPowerCut);
+  EXPECT_EQ(new_hits, 1);
+  EXPECT_TRUE(faults.killed("d0"));
+  eng.shutdown();
+}
+
+TEST(FaultTest, ReRegisterAfterKillRevivesTarget) {
+  Engine eng;
+  FaultInjector faults{eng};
+  int hits = 0;
+  faults.register_target("d0", [&](FaultMode) { ++hits; });
+  faults.kill_now("d0");
+  EXPECT_TRUE(faults.killed("d0"));
+
+  // Restart: the killed flag must reset, or a revived daemon could never be
+  // killed again and a stale armed fault could fire on the wrong incarnation.
+  faults.register_target("d0", [&](FaultMode) { ++hits; });
+  EXPECT_FALSE(faults.killed("d0"));
+  faults.kill_after("d0", 1ms);
+  eng.run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_TRUE(faults.killed("d0"));
+  EXPECT_EQ(faults.kills_fired(), 2);
+  eng.shutdown();
+}
+
 TEST(FaultTest, UnknownTargetThrows) {
   Engine eng;
   FaultInjector faults{eng};

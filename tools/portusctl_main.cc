@@ -10,6 +10,10 @@
 //   portusctl dump   IMAGE MODEL OUT     export the newest valid checkpoint
 //                                        as a portable .ptck container file
 //   portusctl repack IMAGE               reclaim invalid checkpoint versions
+//   portusctl fsck   IMAGE [--verify-only]
+//                                        scrub payload CRCs, demote torn or
+//                                        corrupt slots, sweep orphans; exit
+//                                        0 = clean, 1 = issues found
 #include <fstream>
 #include <iostream>
 
@@ -143,6 +147,16 @@ int cmd_repack(const std::string& image) {
   return 0;
 }
 
+int cmd_fsck(const std::string& image, bool verify_only) {
+  World w;
+  w.load(image);
+  core::Portusctl ctl{*w.daemon};
+  const auto report = ctl.fsck(/*repair=*/!verify_only);
+  std::cout << ctl.render_fsck(report);
+  if (!verify_only) w.save(image);
+  return report.clean() ? 0 : 1;
+}
+
 // A Portus-Cluster ring: N storage nodes, one daemon each, endpoints
 // "portusd0".."portusdN-1", all killable through the fault injector.
 struct ClusterWorld {
@@ -254,6 +268,7 @@ int usage() {
                "  portusctl view   IMAGE\n"
                "  portusctl dump   IMAGE MODEL OUT.ptck\n"
                "  portusctl repack IMAGE\n"
+               "  portusctl fsck   IMAGE [--verify-only]\n"
                "  portusctl cluster-demo   IMAGE_PREFIX\n"
                "  portusctl cluster-status IMAGE...\n";
   return 2;
@@ -270,6 +285,10 @@ int main(int argc, char** argv) {
     if (cmd == "view") return cmd_view(image);
     if (cmd == "dump" && argc == 5) return cmd_dump(image, argv[3], argv[4]);
     if (cmd == "repack") return cmd_repack(image);
+    if (cmd == "fsck") {
+      const bool verify_only = argc > 3 && std::string{argv[3]} == "--verify-only";
+      return cmd_fsck(image, verify_only);
+    }
     if (cmd == "cluster-demo") return cmd_cluster_demo(image);
     if (cmd == "cluster-status") {
       return cmd_cluster_status(std::vector<std::string>(argv + 2, argv + argc));
