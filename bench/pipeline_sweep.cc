@@ -7,6 +7,7 @@
 // pipelined datapath regresses the serial path or a deep window (>= 8)
 // does not reach a 2x checkpoint speedup.
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 #include "bench_common.h"
@@ -50,7 +51,9 @@ Row measure(int window, Bytes chunk, int stripes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: baseline + one deep window only, for the perf-smoke CI label.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   bench::print_header("Pipeline sweep: checkpoint/restore vs pipeline_window",
                       "serial baseline at window=1; chunked+striped rows must not "
                       "regress and window>=8 must reach >=2x on checkpoint");
@@ -59,7 +62,11 @@ int main() {
   constexpr int kStripes = 2;
   std::vector<Row> rows;
   rows.push_back(measure(1, 0, 1));  // stock serial datapath
-  for (const int w : {2, 4, 8, 16}) rows.push_back(measure(w, kChunk, kStripes));
+  if (smoke) {
+    rows.push_back(measure(8, kChunk, kStripes));
+  } else {
+    for (const int w : {2, 4, 8, 16}) rows.push_back(measure(w, kChunk, kStripes));
+  }
   const Row& serial = rows.front();
 
   std::cout << strf("{:>7}{:>10}{:>9}{:>14}{:>13}{:>10}\n", "window", "chunk",

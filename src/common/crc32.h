@@ -12,9 +12,13 @@ namespace portus {
 
 class Crc32 {
  public:
-  // Incremental interface.
+  // Incremental interface. update() runs slice-by-8 (eight 256-entry
+  // tables, one 64-bit load per step) so inline checkpoint integrity keeps
+  // up with the coalesced datapath; update_bytewise() is the one-table
+  // reference implementation the fast path is tested against.
   Crc32& update(std::span<const std::byte> data);
   Crc32& update(const void* data, std::size_t n);
+  Crc32& update_bytewise(const void* data, std::size_t n);
   std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
   void reset() { state_ = 0xFFFFFFFFu; }
 

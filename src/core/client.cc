@@ -91,6 +91,9 @@ sim::SubTask<> PortusClient::register_shard(dnn::Model& model, ShardBinding bind
   RegisterModelMsg msg;
   msg.model_name = binding.reg_name;
   msg.phantom = model.phantom();
+  // Offer the gather capability of this NIC; the daemon answers with the
+  // min against its own config, and a single-SGE daemon answers 1.
+  msg.max_sges = static_cast<std::uint32_t>(node_.nic().spec().max_sges);
   msg.shard_id = binding.shard_id;
   msg.shard_count = binding.shard_count;
   msg.replica = binding.replica;
@@ -138,6 +141,7 @@ sim::SubTask<> PortusClient::register_shard(dnn::Model& model, ShardBinding bind
   const auto ack = decode_register_ack(reply);
   PORTUS_CHECK(ack.ok, "registration rejected: " + ack.error);
   stats_.negotiated_stripes = ack.stripes;
+  stats_.negotiated_max_sges = ack.max_sges;
   stats_.registration_time = cluster_.engine().now() - t0;
   PLOG_DEBUG("portus-client", "registered {} ({} tensors) at {}", reg_name, tensor_count,
              endpoint_);

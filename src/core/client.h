@@ -36,6 +36,8 @@ class PortusClient {
     Duration last_restore{0};
     Duration registration_time{0};
     std::uint32_t negotiated_stripes = 0;  // accepted by the daemon (last reg)
+    // Gather capability the daemon accepted (last reg); 1 = single-SGE.
+    std::uint32_t negotiated_max_sges = 0;
     // Aggregate payload CRC reported by the daemon for the last successful
     // checkpoint/restore (0 for phantom models). Comparable against
     // dnn::Model::weights_crc() for end-to-end integrity assertions.

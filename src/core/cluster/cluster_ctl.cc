@@ -34,25 +34,29 @@ ClusterCtl::DaemonRow ClusterCtl::inspect(PortusDaemon& daemon) {
   row.failed_ops = s.failed_ops;
   row.mean_window = s.mean_window();
   row.peak_window = s.peak_window;
+  row.wrs_posted = s.wrs_posted;
+  row.extents_coalesced = s.extents_coalesced;
   return row;
 }
 
 std::string ClusterCtl::render_status(std::span<PortusDaemon* const> daemons,
                                       const ClusterClient* client) {
   std::string out =
-      strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}\n", "DAEMON", "STATE",
-           "SHARDS", "MODELS", "BYTES", "REGS", "CKPTS", "RSTRS", "FAILED", "PIPELINE");
+      strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}{:>12}\n", "DAEMON",
+           "STATE", "SHARDS", "MODELS", "BYTES", "REGS", "CKPTS", "RSTRS", "FAILED",
+           "PIPELINE", "COALESCE");
   std::size_t copies = 0;
   Bytes bytes = 0;
   for (auto* d : daemons) {
     const auto row = inspect(*d);
     copies += row.shard_copies;
     bytes += row.stored_bytes;
-    out += strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}\n", row.endpoint,
-                row.up ? "up" : "DOWN", row.shard_copies, row.models,
+    out += strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}{:>12}\n",
+                row.endpoint, row.up ? "up" : "DOWN", row.shard_copies, row.models,
                 format_bytes(row.stored_bytes), row.registrations, row.checkpoints,
                 row.restores, row.failed_ops,
-                strf("{:.2f}/{}", row.mean_window, row.peak_window));
+                strf("{:.2f}/{}", row.mean_window, row.peak_window),
+                strf("{}/{}", row.extents_coalesced, row.wrs_posted));
   }
   out += strf("total: {} daemons, {} shard copies, {}\n", daemons.size(), copies,
               format_bytes(bytes));

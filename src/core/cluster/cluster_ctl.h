@@ -31,6 +31,8 @@ class ClusterCtl {
     std::uint64_t failed_ops = 0;
     double mean_window = 0.0;  // pipeline occupancy
     int peak_window = 0;
+    std::uint64_t wrs_posted = 0;         // RDMA WRs (gather extent = 1)
+    std::uint64_t extents_coalesced = 0;  // multi-tensor extents among them
   };
 
   // Snapshot one daemon (walks its ModelTable; killed daemons still answer

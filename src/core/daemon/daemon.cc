@@ -5,6 +5,7 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "common/strformat.h"
+#include "core/daemon/extent.h"
 #include "core/daemon/slots.h"
 
 namespace portus::core {
@@ -26,6 +27,7 @@ PortusDaemon::PortusDaemon(net::Cluster& cluster, net::Node& storage_node,
   PORTUS_CHECK_ARG(config_.pipeline_window >= 1, "pipeline_window must be >= 1");
   PORTUS_CHECK_ARG(config_.stripes >= 1 && config_.stripes <= 256,
                    "stripes must be in [1, 256]");
+  PORTUS_CHECK_ARG(config_.max_sges >= 1, "max_sges must be >= 1");
   model_table_ = std::make_unique<ModelTable>(device_, kModelTableOffset,
                                               config_.model_table_capacity);
   allocator_ = std::make_unique<PmemAllocator>(
@@ -92,6 +94,10 @@ void PortusDaemon::absorb_pipeline_stats(const PipelinedTransfer::Stats& s) {
   stats_.chunks_posted += s.chunks;
   stats_.rdma_chunks += s.rdma_chunks;
   stats_.local_chunks += s.local_chunks;
+  stats_.wrs_posted += s.wrs_posted;
+  stats_.sges_posted += s.sges_posted;
+  stats_.extents_coalesced += s.extents_coalesced;
+  stats_.rdma_bytes += s.rdma_bytes;
   stats_.peak_window = std::max(stats_.peak_window, s.peak_outstanding);
   stats_.window_chunk_seconds += s.occupancy_integral;
   stats_.pipeline_busy_seconds += to_seconds(s.busy);
@@ -195,10 +201,17 @@ sim::SubTask<RegisterAckMsg> PortusDaemon::handle_register(RegisterModelMsg msg)
         session.index->ensure_slot(i, *allocator_);
       }
     } else {
-      session.index =
-          std::make_unique<MIndex>(MIndex::create(device_, *allocator_, msg));
+      session.index = std::make_unique<MIndex>(
+          MIndex::create(device_, *allocator_, msg, config_.coalesce_threshold));
       model_table_->insert(msg.model_name, session.index->record_offset());
     }
+
+    // Gather capability: the client offered what its NIC posts, we accept
+    // the min against our own config and NIC. 1 = single-SGE fallback.
+    session.max_sges = std::min<std::uint32_t>(
+        std::min<std::uint32_t>(msg.max_sges, static_cast<std::uint32_t>(config_.max_sges)),
+        static_cast<std::uint32_t>(node_.nic().spec().max_sges));
+    session.max_sges = std::max<std::uint32_t>(session.max_sges, 1);
 
     // Register both TensorData slots as RDMA regions and wire up the QP.
     auto& ns = node_.devdax();
@@ -226,11 +239,13 @@ sim::SubTask<RegisterAckMsg> PortusDaemon::handle_register(RegisterModelMsg msg)
 
     sessions_.erase(msg.model_name);
     const bool sharded = msg.sharded();
+    const auto session_max_sges = session.max_sges;
     sessions_.emplace(msg.model_name, std::move(session));
     ++stats_.registrations;
     if (sharded) ++stats_.shard_registrations;
     ack.ok = true;
     ack.stripes = static_cast<std::uint32_t>(stripes);
+    ack.max_sges = session_max_sges;
     PLOG_DEBUG(kLog, "registered model {} ({} tensors, {} stripes)", msg.model_name,
                msg.tensors.size(), stripes);
   } catch (const Error& e) {
@@ -273,35 +288,54 @@ sim::SubTask<CheckpointDoneMsg> PortusDaemon::handle_checkpoint(CheckpointReqMsg
     const auto* slot_mr = session.slot_mr[txn.slot()];
     PORTUS_CHECK(slot_mr != nullptr, "write slot has no registered region");
 
-    // Build the chunked work list: dirty tensors pulled from the remote GPU
-    // (one-sided READs), clean ones copied PMEM-locally from the previous
-    // version — all interleaved through one pipelined datapath so the flush
-    // of a finished chunk overlaps the pull of the next.
+    // Build the extent-planned work list: chunked spans fuse into gather
+    // extents where the slot layout is dense (core/daemon/extent.h), then
+    // dirty extents pull from the remote GPU (one multi-SGE READ per
+    // extent), clean ones copy PMEM-locally from the previous version —
+    // all interleaved through one pipelined datapath so the flush of a
+    // finished chunk overlaps the pull of the next. The planner never
+    // mixes classes inside an extent.
+    const auto extents = plan_extents(
+        index.chunk_spans(config_.chunk_bytes), index.tensors(),
+        ExtentConfig{.coalesce_threshold = config_.coalesce_threshold,
+                     .max_sges = static_cast<int>(session.max_sges)},
+        dirty);
     std::vector<TransferChunk> work;
-    for (const auto& span : index.chunk_spans(config_.chunk_bytes)) {
+    for (const auto& ext : extents) {
+      const auto& head = ext.members.front();
       TransferChunk c;
-      c.tensor_index = span.tensor;
-      c.len = span.len;
+      c.tensor_index = head.tensor;
+      c.len = ext.len;
       c.persist_after = true;
-      c.persist_offset = txn.data_offset() + span.offset_in_slot;
+      c.persist_offset = txn.data_offset() + ext.offset_in_slot;
       // Inline integrity: CRC each chunk as it lands (phantom payloads are
       // simulated, not materialized — nothing to checksum).
       c.collect_crc = !index.phantom();
-      c.tensor_offset = span.offset;
-      if (!dirty.empty() && !dirty[span.tensor]) {
+      c.tensor_offset = head.offset;
+      if (!dirty.empty() && !dirty[head.tensor]) {
         c.kind = TransferChunk::Kind::kLocalCopy;
-        c.dst_offset = txn.data_offset() + span.offset_in_slot;
-        c.src_offset = prev_data_offset + span.offset_in_slot;
+        c.dst_offset = txn.data_offset() + ext.offset_in_slot;
+        c.src_offset = prev_data_offset + ext.offset_in_slot;
         c.phantom = index.phantom();
       } else {
-        const auto& desc = session.registration.tensors[span.tensor];
+        const auto& desc = session.registration.tensors[head.tensor];
         c.kind = TransferChunk::Kind::kRead;
         c.lkey = slot_mr->lkey;
-        c.local_addr = slot_mr->addr + span.offset_in_slot;
+        c.local_addr = slot_mr->addr + ext.offset_in_slot;
         c.rkey = desc.rkey;
-        c.remote_addr = desc.gpu_addr + span.offset;
+        c.remote_addr = desc.gpu_addr + head.offset;
       }
-      work.push_back(c);
+      if (ext.coalesced()) {
+        for (const auto& m : ext.members) {
+          const auto& d = session.registration.tensors[m.tensor];
+          c.members.push_back(TransferChunk::ExtentMember{
+              .tensor_index = m.tensor,
+              .len = m.len,
+              .rkey = d.rkey,
+              .remote_addr = d.gpu_addr + m.offset});
+        }
+      }
+      work.push_back(std::move(c));
     }
 
     PipelinedTransfer pipe{cluster_.engine(), session.qps, *session.cq,
@@ -404,19 +438,35 @@ sim::SubTask<RestoreDoneMsg> PortusDaemon::handle_restore(RestoreReqMsg msg) {
 
     // Push every tensor into the remote GPU: pipelined one-sided RDMA
     // WRITEs through the same chunk/window/stripe engine as checkpoints
-    // (no persists — the destination is volatile GPU memory).
+    // (no persists — the destination is volatile GPU memory). Coalesced
+    // extents scatter one contiguous slot range across N tensor buffers.
+    const auto extents = plan_extents(
+        index.chunk_spans(config_.chunk_bytes), index.tensors(),
+        ExtentConfig{.coalesce_threshold = config_.coalesce_threshold,
+                     .max_sges = static_cast<int>(session.max_sges)});
     std::vector<TransferChunk> work;
-    for (const auto& span : index.chunk_spans(config_.chunk_bytes)) {
-      const auto& desc = session.registration.tensors[span.tensor];
+    for (const auto& ext : extents) {
+      const auto& head = ext.members.front();
+      const auto& desc = session.registration.tensors[head.tensor];
       TransferChunk c;
       c.kind = TransferChunk::Kind::kWrite;
-      c.tensor_index = span.tensor;
-      c.len = span.len;
+      c.tensor_index = head.tensor;
+      c.len = ext.len;
       c.lkey = slot_mr->lkey;
-      c.local_addr = slot_mr->addr + span.offset_in_slot;
+      c.local_addr = slot_mr->addr + ext.offset_in_slot;
       c.rkey = desc.rkey;
-      c.remote_addr = desc.gpu_addr + span.offset;
-      work.push_back(c);
+      c.remote_addr = desc.gpu_addr + head.offset;
+      if (ext.coalesced()) {
+        for (const auto& m : ext.members) {
+          const auto& d = session.registration.tensors[m.tensor];
+          c.members.push_back(TransferChunk::ExtentMember{
+              .tensor_index = m.tensor,
+              .len = m.len,
+              .rkey = d.rkey,
+              .remote_addr = d.gpu_addr + m.offset});
+        }
+      }
+      work.push_back(std::move(c));
     }
 
     PipelinedTransfer pipe{cluster_.engine(), session.qps, *session.cq,

@@ -59,6 +59,15 @@ class PortusDaemon {
     // Datapath QPs connected per session (bounded by what the client
     // offers); chunks ride the stripes round-robin.
     int stripes = 1;
+    // Extent coalescing (core/daemon/extent.h): whole tensors no larger
+    // than this are packed dense in new slot layouts and fused into
+    // multi-SGE gather extents — one WQE moves a whole run of small
+    // tensors. 0 restores the classic layout and single-SGE datapath
+    // bit-for-bit.
+    Bytes coalesce_threshold = 4_KiB;
+    // Gather-list budget per work request; the effective per-session value
+    // is min(this, the client's offered capability, this NIC's max_sges).
+    int max_sges = 16;
     // Fault injection: when set, start() registers this daemon as a kill
     // target named `endpoint`, so tests/benches can crash or hang it at a
     // chosen point in virtual time (sim/fault.h).
@@ -81,6 +90,10 @@ class PortusDaemon {
     std::uint64_t chunks_posted = 0;
     std::uint64_t rdma_chunks = 0;
     std::uint64_t local_chunks = 0;
+    std::uint64_t wrs_posted = 0;         // RDMA WRs (a gather extent = 1)
+    std::uint64_t sges_posted = 0;        // remote SGEs across those WRs
+    std::uint64_t extents_coalesced = 0;  // chunks that fused > 1 tensor
+    Bytes rdma_bytes = 0;
     int peak_window = 0;                  // max chunks in flight in any op
     double window_chunk_seconds = 0.0;    // ∫ outstanding dt, all ops
     double pipeline_busy_seconds = 0.0;   // datapath wall time, all ops
@@ -96,6 +109,10 @@ class PortusDaemon {
                  ? Duration{queue_delay_total.count() /
                             static_cast<Duration::rep>(chunks_posted)}
                  : Duration{0};
+    }
+    double bytes_per_wr() const {
+      return wrs_posted > 0 ? static_cast<double>(rdma_bytes) / static_cast<double>(wrs_posted)
+                            : 0.0;
     }
   };
 
@@ -149,6 +166,8 @@ class PortusDaemon {
     std::unique_ptr<rdma::CompletionQueue> cq;  // shared by all stripes
     std::vector<rdma::QueuePair*> qps;          // one per connected stripe
     const rdma::MemoryRegion* slot_mr[2] = {nullptr, nullptr};
+    // Negotiated gather capability (min of client offer, config, NIC).
+    std::uint32_t max_sges = 1;
   };
 
   sim::Process accept_loop();

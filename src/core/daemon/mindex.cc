@@ -80,7 +80,7 @@ std::vector<std::byte> encode_meta_blob(const std::string& name, bool phantom,
 }  // namespace
 
 MIndex MIndex::create(pmem::PmemDevice& device, PmemAllocator& allocator,
-                      const RegisterModelMsg& registration) {
+                      const RegisterModelMsg& registration, Bytes pack_threshold) {
   PORTUS_CHECK_ARG(!registration.tensors.empty(), "registration has no tensors");
 
   MIndex idx;
@@ -94,7 +94,10 @@ MIndex MIndex::create(pmem::PmemDevice& device, PmemAllocator& allocator,
   idx.placement_epoch_ = registration.placement_epoch;
   idx.manifest_ = registration.manifest;
 
-  // Lay tensors out back-to-back (256 B aligned) in one contiguous slot.
+  // Lay tensors out back-to-back in one contiguous slot. Tensors at or
+  // under pack_threshold pack densely at dtype alignment (so same-dtype
+  // runs leave no gaps and coalesce into one gather extent); everything
+  // else starts on a 256-B line, matching the historical layout exactly.
   Bytes cursor = 0;
   idx.tensors_.reserve(registration.tensors.size());
   for (const auto& t : registration.tensors) {
@@ -103,11 +106,14 @@ MIndex MIndex::create(pmem::PmemDevice& device, PmemAllocator& allocator,
     it.dtype = t.dtype;
     it.shape = t.shape;
     it.size = t.size;
+    const bool packed = pack_threshold > 0 && t.size > 0 && t.size <= pack_threshold;
+    const Bytes align = packed ? dnn::size_of(t.dtype) : Bytes{256};
+    cursor = (cursor + align - 1) / align * align;
     it.offset_in_slot = cursor;
-    cursor += (t.size + 255) & ~Bytes{255};
+    cursor += t.size;
     idx.tensors_.push_back(std::move(it));
   }
-  idx.slot_size_ = cursor;
+  idx.slot_size_ = (cursor + 255) & ~Bytes{255};
 
   // Allocate both TensorData regions and the record.
   const auto meta_blob = encode_meta_blob(
@@ -259,6 +265,15 @@ std::vector<ChunkSpan> MIndex::chunk_spans(Bytes chunk_bytes) const {
   std::vector<ChunkSpan> spans;
   for (std::size_t t = 0; t < tensors_.size(); ++t) {
     const auto& tensor = tensors_[t];
+    if (tensor.size == 0) {
+      // Zero-length tensor (e.g. an empty buffer slot): exactly one empty
+      // span, so per-tensor CRC coverage bookkeeping still sees it.
+      spans.push_back(ChunkSpan{.tensor = t,
+                                .offset = 0,
+                                .offset_in_slot = tensor.offset_in_slot,
+                                .len = 0});
+      continue;
+    }
     Bytes off = 0;
     do {
       const Bytes len = chunk_bytes == 0 ? tensor.size

@@ -86,8 +86,16 @@ class MIndex {
 
   // Build a fresh record from a registration packet: allocates the record
   // itself and both TensorData slots, persists everything.
+  //
+  // pack_threshold controls the slot layout: tensors no larger than it are
+  // packed back-to-back at their dtype's natural alignment, so runs of
+  // small tensors are PMEM-dense and the extent planner can fuse them into
+  // multi-SGE gather extents. Larger tensors (and a threshold of 0) keep
+  // the classic 256-B-aligned placement — with threshold 0 the layout is
+  // byte-identical to what this function always produced.
   static MIndex create(pmem::PmemDevice& device, PmemAllocator& allocator,
-                       const RegisterModelMsg& registration);
+                       const RegisterModelMsg& registration,
+                       Bytes pack_threshold = 0);
 
   // Load an existing record (daemon restart / portusctl). Validates magic
   // and metadata CRC; slot headers with bad CRCs surface as kEmpty.

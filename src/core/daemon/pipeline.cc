@@ -85,6 +85,7 @@ sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
 
       ++stats_.chunks;
       stats_.bytes += c.len;
+      if (c.members.size() > 1) ++stats_.extents_coalesced;
       if (c.kind == TransferChunk::Kind::kLocalCopy) {
         PORTUS_CHECK(device_ != nullptr && copy_channel_ != nullptr,
                      "local-copy chunk with no PMEM binding");
@@ -93,7 +94,10 @@ sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
       } else {
         PORTUS_CHECK(!qps_.empty(), "RDMA chunk in a pipelined transfer with no QPs");
         ++stats_.rdma_chunks;
-        qps_[i % lanes]->post(rdma::WorkRequest{
+        ++stats_.wrs_posted;
+        stats_.sges_posted += c.members.empty() ? 1 : c.members.size();
+        stats_.rdma_bytes += c.len;
+        rdma::WorkRequest wr{
             .opcode = c.kind == TransferChunk::Kind::kRead ? rdma::WcOpcode::kRead
                                                            : rdma::WcOpcode::kWrite,
             .wr_id = id,
@@ -101,7 +105,14 @@ sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
             .local_addr = c.local_addr,
             .length = c.len,
             .rkey = c.rkey,
-            .remote_addr = c.remote_addr});
+            .remote_addr = c.remote_addr};
+        // A coalesced extent rides one WR with a remote gather list: one
+        // WQE, one doorbell, one completion for the whole tensor run.
+        wr.remote_sges.reserve(c.members.size());
+        for (const auto& m : c.members) {
+          wr.remote_sges.push_back(rdma::RemoteSge{m.rkey, m.remote_addr, m.len});
+        }
+        qps_[i % lanes]->post(std::move(wr));
       }
     }
     // After a failure everything already posted must still drain (RC
@@ -131,10 +142,24 @@ sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
       PORTUS_CHECK(device_ != nullptr, "collect_crc chunk with no PMEM binding");
       const Bytes at = c.kind == TransferChunk::Kind::kLocalCopy ? c.dst_offset
                                                                  : c.persist_offset;
-      chunk_crcs_.push_back(ChunkCrc{.tensor_index = c.tensor_index,
-                                     .tensor_offset = c.tensor_offset,
-                                     .len = c.len,
-                                     .crc = device_->crc(at, c.len)});
+      if (c.members.empty()) {
+        chunk_crcs_.push_back(ChunkCrc{.tensor_index = c.tensor_index,
+                                       .tensor_offset = c.tensor_offset,
+                                       .len = c.len,
+                                       .crc = device_->crc(at, c.len)});
+      } else {
+        // Split the landed extent back into per-tensor CRC records: each
+        // member is a whole tensor (offset 0), so its record IS its final
+        // per-tensor CRC — no combine step needed for coalesced members.
+        Bytes off = 0;
+        for (const auto& m : c.members) {
+          chunk_crcs_.push_back(ChunkCrc{.tensor_index = m.tensor_index,
+                                         .tensor_offset = 0,
+                                         .len = m.len,
+                                         .crc = device_->crc(at + off, m.len)});
+          off += m.len;
+        }
+      }
     }
     if (c.persist_after) {
       PORTUS_CHECK(device_ != nullptr, "persist_after chunk with no PMEM binding");

@@ -74,6 +74,21 @@ struct TransferChunk {
   // set on phantom chunks (their payload is simulated, not materialized).
   bool collect_crc = false;
   Bytes tensor_offset = 0;  // byte offset of this chunk within its tensor
+
+  // Coalesced extent: when non-empty, this chunk moves a dense run of
+  // whole small tensors with ONE work request. For kRead/kWrite the
+  // members form the remote gather/scatter list (the local side is the
+  // single contiguous slot range above); for kLocalCopy the copy is one
+  // dense range and the members only drive the per-tensor CRC split.
+  // Member k's bytes sit at local offset sum(members[0..k).len); member
+  // lengths must sum to `len`. Empty = classic single-tensor chunk.
+  struct ExtentMember {
+    std::size_t tensor_index = 0;
+    Bytes len = 0;
+    std::uint32_t rkey = 0;         // kRead / kWrite only
+    std::uint64_t remote_addr = 0;  // kRead / kWrite only
+  };
+  std::vector<ExtentMember> members;
 };
 
 class PipelinedTransfer {
@@ -86,6 +101,11 @@ class PipelinedTransfer {
     std::uint64_t chunks = 0;
     std::uint64_t rdma_chunks = 0;
     std::uint64_t local_chunks = 0;
+    // --- coalescing observability ---
+    std::uint64_t wrs_posted = 0;        // RDMA work requests (a gather extent = 1)
+    std::uint64_t sges_posted = 0;       // remote SGEs across those WRs
+    std::uint64_t extents_coalesced = 0; // chunks that fused > 1 tensor
+    Bytes rdma_bytes = 0;                // subset of `bytes` that crossed the NIC
     Bytes bytes = 0;
     Bytes bytes_persisted = 0;
     int peak_outstanding = 0;         // max chunks in flight at once
@@ -97,6 +117,10 @@ class PipelinedTransfer {
     double mean_outstanding() const {
       const double b = to_seconds(busy);
       return b > 0.0 ? occupancy_integral / b : 0.0;
+    }
+    double bytes_per_wr() const {
+      return wrs_posted > 0 ? static_cast<double>(rdma_bytes) / static_cast<double>(wrs_posted)
+                            : 0.0;
     }
   };
 

@@ -52,6 +52,14 @@ std::string Portusctl::render_stats() {
   out += "--- pipelined datapath ---\n";
   out += strf("{:<28}{}\n", "chunks posted", s.chunks_posted);
   out += strf("{:<28}{} rdma / {} local\n", "chunk mix", s.rdma_chunks, s.local_chunks);
+  out += strf("{:<28}{}\n", "rdma wrs posted", s.wrs_posted);
+  out += strf("{:<28}{}\n", "extents coalesced", s.extents_coalesced);
+  out += strf("{:<28}{:.2f}\n", "mean sges per wr",
+              s.wrs_posted > 0
+                  ? static_cast<double>(s.sges_posted) / static_cast<double>(s.wrs_posted)
+                  : 0.0);
+  out += strf("{:<28}{}\n", "bytes per wr",
+              format_bytes(static_cast<Bytes>(s.bytes_per_wr())));
   out += strf("{:<28}{}\n", "peak window occupancy", s.peak_window);
   out += strf("{:<28}{:.2f}\n", "mean window occupancy", s.mean_window());
   out += strf("{:<28}{:.1f} us\n", "mean queue delay",

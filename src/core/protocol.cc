@@ -61,6 +61,7 @@ std::vector<std::byte> encode(const RegisterModelMsg& m) {
   w.u32(static_cast<std::uint32_t>(m.qp_tokens.size()));
   for (const auto token : m.qp_tokens) w.u64(token);
   w.u8(m.phantom ? 1 : 0);
+  w.u32(m.max_sges);
   w.u32(m.shard_id);
   w.u32(m.shard_count);
   w.u32(m.replica);
@@ -92,6 +93,10 @@ RegisterModelMsg decode_register_model(std::span<const std::byte> wire) {
   m.qp_tokens.resize(n_tokens);
   for (auto& token : m.qp_tokens) token = r.u64();
   m.phantom = r.u8() != 0;
+  m.max_sges = r.u32();
+  if (m.max_sges == 0 || m.max_sges > 1024) {
+    throw Corruption("implausible gather capability in registration");
+  }
   m.shard_id = r.u32();
   m.shard_count = r.u32();
   m.replica = r.u32();
@@ -128,6 +133,7 @@ std::vector<std::byte> encode(const RegisterAckMsg& m) {
   w.u16(m.version);
   put_status(w, m.ok, m.error);
   w.u32(m.stripes);
+  w.u32(m.max_sges);
   return w.take();
 }
 
@@ -142,6 +148,7 @@ RegisterAckMsg decode_register_ack(std::span<const std::byte> wire) {
   m.ok = r.u8() != 0;
   m.error = r.str();
   m.stripes = r.u32();
+  m.max_sges = r.u32();
   return m;
 }
 

@@ -34,7 +34,9 @@ namespace portus::core {
 // misparsing the body. Bump kProtocolVersion on any wire-layout change.
 inline constexpr std::uint32_t kProtocolMagic = 0x50545553;  // "PTUS"
 // v3: CheckpointDoneMsg / RestoreDoneMsg grew payload_crc.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+// v4: registration + ack carry the negotiated multi-SGE gather capability
+//     (max_sges); a capability of 1 is the clean single-SGE fallback.
+inline constexpr std::uint16_t kProtocolVersion = 4;
 
 enum class MsgType : std::uint8_t {
   kRegisterModel = 1,
@@ -77,6 +79,10 @@ struct RegisterModelMsg {
   // connects a prefix of them, bounded by its own `stripes` config.
   std::vector<std::uint64_t> qp_tokens;
   bool phantom = false;
+  // Gather entries per work request the client's NIC accepts (>= 1). The
+  // daemon plans coalesced extents no wider than min(this, its own config
+  // and NIC); offering 1 disables coalescing for this registration.
+  std::uint32_t max_sges = 1;
   // --- cluster sharding (core/cluster/). A standalone registration keeps
   // the defaults: one shard, one replica, no manifest. ---
   std::uint32_t shard_id = 0;
@@ -105,6 +111,10 @@ struct RegisterAckMsg {
   std::string error;
   // Datapath stripes the daemon actually connected (<= tokens offered).
   std::uint32_t stripes = 0;
+  // Gather capability the daemon accepted for this registration: min of
+  // the client's offer, the daemon's coalescing config, and its NIC. 1 =
+  // single-SGE datapath (coalescing off).
+  std::uint32_t max_sges = 1;
 };
 
 struct CheckpointReqMsg {

@@ -67,39 +67,66 @@ sim::SubTask<WorkCompletion> Fabric::execute_one_sided(QueuePair& initiator, Wor
     wc.status = WcStatus::kRemoteInvalidRequest;  // local protection error
     co_return wc;
   }
-  // Remote rkey validation at the target NIC.
-  const MemoryRegion* remote = peer->pd().find_by_rkey(wr.rkey);
-  const std::uint32_t needed = is_read ? kRemoteRead : kRemoteWrite;
-  if (remote == nullptr || !remote->covers(wr.remote_addr, wr.length) ||
-      (remote->access & needed) == 0) {
-    wc.status = WcStatus::kRemoteAccessError;
+  // Effective remote gather/scatter list: the explicit SGE list, or the
+  // classic single (rkey, remote_addr) pair. A READ gathers the list into
+  // the contiguous local range; a WRITE scatters the local range across it.
+  std::vector<RemoteSge> sges = wr.remote_sges;
+  if (sges.empty()) {
+    sges.push_back(RemoteSge{wr.rkey, wr.remote_addr, wr.length});
+  }
+  Bytes sge_total = 0;
+  for (const auto& s : sges) sge_total += s.length;
+  if (sge_total != wr.length) {
+    wc.status = WcStatus::kRemoteInvalidRequest;  // malformed gather list
     co_return wc;
   }
+  // Remote rkey validation at the target NIC, entry by entry.
+  const std::uint32_t needed = is_read ? kRemoteRead : kRemoteWrite;
+  std::vector<const MemoryRegion*> remotes;
+  remotes.reserve(sges.size());
+  for (const auto& s : sges) {
+    const MemoryRegion* remote = peer->pd().find_by_rkey(s.rkey);
+    if (remote == nullptr || !remote->covers(s.addr, s.length) ||
+        (remote->access & needed) == 0) {
+      wc.status = WcStatus::kRemoteAccessError;
+      co_return wc;
+    }
+    remotes.push_back(remote);
+  }
 
-  // Datapath: source is remote for READ, local for WRITE.
-  const MemoryRegion* src = is_read ? remote : local;
-  const MemoryRegion* dst = is_read ? local : remote;
-  const Bandwidth cap = min(min(src->read_cap, dst->write_cap),
-                            min(initiator.nic().spec().per_qp_cap,
-                                peer->nic().spec().per_qp_cap));
+  // Cost model: the whole gather moves as one operation — the per-op
+  // latency was charged above, and the summed bytes ride one path whose
+  // cap is the tightest of every region touched (charge_path dedups the
+  // channel list, so N members of one GPU region charge its BAR once).
+  Bandwidth cap = min(initiator.nic().spec().per_qp_cap, peer->nic().spec().per_qp_cap);
+  cap = min(cap, is_read ? local->write_cap : local->read_cap);
   std::vector<sim::BandwidthChannel*> path;
   path.push_back(&initiator.nic().link());
   path.push_back(&peer->nic().link());
-  path.push_back(src->device_channel_read);
-  path.push_back(dst->device_channel_write);
+  path.push_back(is_read ? local->device_channel_write : local->device_channel_read);
+  for (const auto* remote : remotes) {
+    cap = min(cap, is_read ? remote->read_cap : remote->write_cap);
+    path.push_back(is_read ? remote->device_channel_read : remote->device_channel_write);
+  }
   co_await charge_path(std::move(path), wr.length, cap);
 
-  if (!src->phantom && !dst->phantom) {
-    const std::uint64_t src_addr = is_read ? wr.remote_addr : wr.local_addr;
-    const std::uint64_t dst_addr = is_read ? wr.local_addr : wr.remote_addr;
-    mem::copy_bytes(*dst->segment, dst->segment->to_offset(dst_addr), *src->segment,
-                    src->segment->to_offset(src_addr), wr.length);
-    bytes_moved_ += wr.length;
-  } else if (dst->segment != nullptr && !dst->phantom) {
-    // Phantom source into real destination: account persistence metadata
-    // without contents (zero-fill is skipped; dirtiness still tracked).
-    dst->segment->mark_dirty(dst->segment->to_offset(is_read ? wr.local_addr : wr.remote_addr),
-                             wr.length);
+  std::uint64_t local_cursor = wr.local_addr;
+  for (std::size_t i = 0; i < sges.size(); ++i) {
+    const MemoryRegion* remote = remotes[i];
+    const MemoryRegion* src = is_read ? remote : local;
+    const MemoryRegion* dst = is_read ? local : remote;
+    const std::uint64_t src_addr = is_read ? sges[i].addr : local_cursor;
+    const std::uint64_t dst_addr = is_read ? local_cursor : sges[i].addr;
+    if (!src->phantom && !dst->phantom) {
+      mem::copy_bytes(*dst->segment, dst->segment->to_offset(dst_addr), *src->segment,
+                      src->segment->to_offset(src_addr), sges[i].length);
+      bytes_moved_ += sges[i].length;
+    } else if (dst->segment != nullptr && !dst->phantom) {
+      // Phantom source into real destination: account persistence metadata
+      // without contents (zero-fill is skipped; dirtiness still tracked).
+      dst->segment->mark_dirty(dst->segment->to_offset(dst_addr), sges[i].length);
+    }
+    local_cursor += sges[i].length;
   }
   co_return wc;
 }

@@ -24,6 +24,7 @@ struct NicSpec {
   Duration read_latency = std::chrono::microseconds{4};    // one-sided READ setup+RTT
   Duration write_latency = std::chrono::nanoseconds{3200}; // one-sided WRITE
   Duration send_latency = std::chrono::microseconds{5};    // two-sided (CPU on both ends)
+  int max_sges = 30;  // gather entries per WQE (mlx5-class max_send_sge)
 
   static NicSpec connectx5_100g() { return NicSpec{}; }
   static NicSpec connectx6_100g() { return NicSpec{}; }

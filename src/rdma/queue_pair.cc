@@ -20,6 +20,9 @@ QueuePair::QueuePair(Fabric& fabric, RdmaNic& nic, ProtectionDomain& pd, Complet
 
 void QueuePair::post(WorkRequest wr) {
   PORTUS_CHECK_ARG(connected(), "post on unconnected QP");
+  PORTUS_CHECK_ARG(wr.remote_sges.size() <=
+                       static_cast<std::size_t>(nic_.spec().max_sges),
+                   "gather list exceeds the NIC's max_sges");
   sq_.push(std::move(wr));
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <span>
+#include <vector>
 
 #include "common/units.h"
 #include "rdma/completion_queue.h"
@@ -27,16 +28,31 @@ namespace portus::rdma {
 
 class Fabric;
 
+// One element of a remote gather/scatter list. Each entry carries its own
+// rkey: a coalesced checkpoint extent spans several client tensors, and
+// every tensor is registered as its own memory region.
+struct RemoteSge {
+  std::uint32_t rkey = 0;
+  std::uint64_t addr = 0;
+  Bytes length = 0;
+};
+
 struct WorkRequest {
   WcOpcode opcode = WcOpcode::kRead;
   std::uint64_t wr_id = 0;
-  // Local scatter/gather element (single SGE supported).
+  // Local side: one contiguous range.
   std::uint32_t lkey = 0;
   std::uint64_t local_addr = 0;
   Bytes length = 0;
-  // Remote side (one-sided ops).
+  // Remote side (one-sided ops). When `remote_sges` is non-empty it
+  // replaces rkey/remote_addr: a READ gathers the list into the local
+  // range, a WRITE scatters the local range across it, and the entry
+  // lengths must sum to `length`. Either way the request costs one WQE,
+  // one per-op latency, and one completion — the point of coalescing.
+  // The list length is capped by the posting NIC's NicSpec::max_sges.
   std::uint32_t rkey = 0;
   std::uint64_t remote_addr = 0;
+  std::vector<RemoteSge> remote_sges;
 };
 
 struct RecvWr {

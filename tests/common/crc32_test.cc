@@ -58,6 +58,31 @@ TEST(Crc32Test, ResetRestartsState) {
   EXPECT_EQ(c.value(), 0xCBF43926u);
 }
 
+TEST(Crc32Test, SliceBy8MatchesBytewiseReferenceOnAwkwardLengths) {
+  // The fast update() folds 8 bytes per step; every remainder class and the
+  // sub-8 short-input path must agree with the one-table reference.
+  Rng rng{0x51CE};
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                std::size_t{8}, std::size_t{9}, std::size_t{4095},
+                                std::size_t{4097}}) {
+    std::vector<std::byte> data(len);
+    rng.fill(data);
+    Crc32 fast;
+    fast.update(data.data(), data.size());
+    Crc32 reference;
+    reference.update_bytewise(data.data(), data.size());
+    EXPECT_EQ(fast.value(), reference.value()) << "length " << len;
+    // Misaligned start: the sliced loop must not assume word alignment.
+    if (len > 1) {
+      Crc32 fast_off;
+      fast_off.update(data.data() + 1, data.size() - 1);
+      Crc32 ref_off;
+      ref_off.update_bytewise(data.data() + 1, data.size() - 1);
+      EXPECT_EQ(fast_off.value(), ref_off.value()) << "offset length " << len;
+    }
+  }
+}
+
 class Crc32ChunkTest : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(Crc32ChunkTest, ChunkingIsTransparent) {

@@ -29,6 +29,7 @@
 #include "core/cluster/manifest.h"
 #include "core/daemon/daemon.h"
 #include "core/daemon/fsck.h"
+#include "dnn/model.h"
 #include "dnn/model_zoo.h"
 #include "net/cluster.h"
 
@@ -243,7 +244,89 @@ TEST(CrashpointTest, EveryCheckpointBoundarySurvivesPowerCut) {
   }
 }
 
-// --- workload 2: cluster-era shard registration ------------------------------
+// --- workload 2: coalesced small-tensor datapath ------------------------------
+
+// Extent coalescing (core/daemon/extent.h) merges runs of small tensors
+// into multi-SGE gather WRs and splits per-tensor CRCs back out of landed
+// extents. Walking every persist boundary of a coalesced checkpoint proves
+// the split CRC blocks remain a durability proof: verify_point checks each
+// DONE slot's payload bit-for-bit against its block, per tensor.
+Recording record_coalesced_workload() {
+  Recording rec;
+  sim::Engine eng;
+  auto world = net::Cluster::Builder{}
+                   .add_node({.name = "client", .gpu_count = 1})
+                   .add_node({.name = "server", .pmem_devdax = kDevdax})
+                   .build(eng);
+  core::QpRendezvous rendezvous;
+  core::PortusDaemon::Config cfg;
+  cfg.chunk_bytes = 4_KiB;
+  cfg.pipeline_window = 4;
+  cfg.stripes = 2;
+  cfg.coalesce_threshold = 2_KiB;
+  cfg.max_sges = 8;
+  core::PortusDaemon daemon{*world, world->node("server"), rendezvous, cfg};
+  daemon.start();
+  auto& device = daemon.device();
+
+  // Small-tensor-dominated: 6 blocks of (2 KiB, 1 KiB, 256 B, 256 B) plus
+  // one chunked 32 KiB embedding — most WRs are gather extents.
+  auto& client_node = world->node("client");
+  dnn::Model model{"gpt-bits", client_node.gpu(0)};
+  for (int b = 0; b < 6; ++b) {
+    const auto tag = std::to_string(b);
+    model.add_tensor(dnn::TensorMeta{.name = "blk" + tag + ".w", .shape = {512}}, false);
+    model.add_tensor(dnn::TensorMeta{.name = "blk" + tag + ".proj", .shape = {256}}, false);
+    model.add_tensor(dnn::TensorMeta{.name = "blk" + tag + ".bias", .shape = {64}}, false);
+    model.add_tensor(dnn::TensorMeta{.name = "blk" + tag + ".norm", .shape = {64}}, false);
+  }
+  model.add_tensor(dnn::TensorMeta{.name = "embed", .shape = {32, 256}}, false);
+  model.randomize_weights(0xC0A1E5CE);
+  core::PortusClient client{*world, client_node, client_node.gpu(0), rendezvous,
+                            "portusd", /*stripes=*/2};
+
+  sim::CrashpointRecorder recorder{device};
+  eng.spawn([](core::PortusClient& c, dnn::Model& m, pmem::PmemDevice& dev,
+               Recording& out, core::PortusDaemon& d) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    for (std::uint64_t k = 1; k <= 2; ++k) {
+      m.mutate_weights(k);
+      const auto golden = m.weights_crc();
+      const auto epoch = co_await c.checkpoint(m, k);
+      out.golden[epoch] = golden;
+      out.acks.push_back(Ack{dev.persist_seq(), epoch});
+      if (c.stats().last_payload_crc != golden) throw Error("payload CRC mismatch");
+    }
+    // Incremental over a coalesced layout: one dirty pair fuses into a
+    // gather extent, the clean remainder rides as dense local copies.
+    const auto golden = m.weights_crc();
+    std::vector<std::uint32_t> dirty{1, 2};
+    const auto epoch = co_await c.checkpoint_incremental(m, 3, std::move(dirty));
+    out.golden[epoch] = golden;
+    out.acks.push_back(Ack{dev.persist_seq(), epoch});
+    if (c.stats().last_payload_crc != golden) throw Error("incremental CRC mismatch");
+    if (d.stats().extents_coalesced == 0) throw Error("workload never coalesced");
+  }(client, model, device, rec, daemon));
+  eng.run();
+  recorder.detach();
+  rec.points = recorder.points();
+  eng.shutdown();
+  return rec;
+}
+
+TEST(CrashpointTest, CoalescedCheckpointBoundariesSurvivePowerCut) {
+  const auto rec = record_coalesced_workload();
+  EXPECT_GE(rec.points.size(), 40u);
+  ASSERT_EQ(rec.golden.size(), 3u);
+
+  for (const auto& p : rec.points) {
+    verify_point(rec, p);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
+// --- workload 3: cluster-era shard registration ------------------------------
 
 Recording record_shard_workload(std::vector<std::byte>& manifest_wire) {
   Recording rec;
