@@ -1,0 +1,77 @@
+// Lock-free multi-producer / single-consumer intrusive-style queue
+// (Vyukov exchange-head design, allocation per push).
+//
+// Producers push from any thread with one atomic exchange on the head —
+// wait-free, no CAS loop, no lock. The single consumer pops from the tail
+// through a stub node; a push that has swung the head but not yet linked
+// its predecessor leaves the queue momentarily "busy", which try_pop
+// surfaces as empty (the element arrives a moment later). That transient
+// is invisible to consumers that are gated on a separate ready signal
+// (e.g. a semaphore or channel token released after the push completes).
+//
+// Used by the RDMA completion path: NIC-side executors deliver work
+// completions into a CompletionQueue without ever taking the daemon lock.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace portus {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node{};
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  // Any thread. Wait-free: one allocation + one atomic exchange.
+  void push(T value) {
+    Node* node = new Node{};
+    node->value = std::move(value);
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  // Consumer thread only. Returns nullopt when empty (or when a producer
+  // is mid-push; see header comment).
+  std::optional<T> try_pop() {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return std::nullopt;
+    std::optional<T> out{std::move(next->value)};
+    tail_ = next;
+    delete tail;
+    return out;
+  }
+
+  // Consumer thread only. Approximate when producers are active.
+  bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  std::atomic<Node*> head_;  // producers exchange here
+  Node* tail_;               // consumer-owned
+};
+
+}  // namespace portus

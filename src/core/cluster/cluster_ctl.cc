@@ -36,27 +36,37 @@ ClusterCtl::DaemonRow ClusterCtl::inspect(PortusDaemon& daemon) {
   row.peak_window = s.peak_window;
   row.wrs_posted = s.wrs_posted;
   row.extents_coalesced = s.extents_coalesced;
+  row.doorbells_per_window = s.doorbells_per_window();
+  for (const auto& sh : daemon.allocator().shard_stats()) {
+    ++row.alloc_shards;
+    row.alloc_refills += sh.refills;
+    row.alloc_live += sh.live;
+  }
   return row;
 }
 
 std::string ClusterCtl::render_status(std::span<PortusDaemon* const> daemons,
                                       const ClusterClient* client) {
   std::string out =
-      strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}{:>12}\n", "DAEMON",
-           "STATE", "SHARDS", "MODELS", "BYTES", "REGS", "CKPTS", "RSTRS", "FAILED",
-           "PIPELINE", "COALESCE");
+      strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}{:>12}{:>10}{:>14}\n",
+           "DAEMON", "STATE", "SHARDS", "MODELS", "BYTES", "REGS", "CKPTS", "RSTRS",
+           "FAILED", "PIPELINE", "COALESCE", "DOORBELL", "ARENAS");
   std::size_t copies = 0;
   Bytes bytes = 0;
   for (auto* d : daemons) {
     const auto row = inspect(*d);
     copies += row.shard_copies;
     bytes += row.stored_bytes;
-    out += strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}{:>12}\n",
+    out += strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}{:>12}{:>10}{:>14}\n",
                 row.endpoint, row.up ? "up" : "DOWN", row.shard_copies, row.models,
                 format_bytes(row.stored_bytes), row.registrations, row.checkpoints,
                 row.restores, row.failed_ops,
                 strf("{:.2f}/{}", row.mean_window, row.peak_window),
-                strf("{}/{}", row.extents_coalesced, row.wrs_posted));
+                strf("{}/{}", row.extents_coalesced, row.wrs_posted),
+                strf("{:.2f}/w", row.doorbells_per_window),
+                // Allocator arenas: count, live bytes, reservation refills.
+                strf("{}x {} {}r", row.alloc_shards, format_bytes(row.alloc_live),
+                     row.alloc_refills));
   }
   out += strf("total: {} daemons, {} shard copies, {}\n", daemons.size(), copies,
               format_bytes(bytes));

@@ -33,6 +33,10 @@ class ClusterCtl {
     int peak_window = 0;
     std::uint64_t wrs_posted = 0;         // RDMA WRs (gather extent = 1)
     std::uint64_t extents_coalesced = 0;  // multi-tensor extents among them
+    double doorbells_per_window = 0.0;    // mean doorbells per admission burst
+    std::uint32_t alloc_shards = 0;       // allocator arenas
+    std::uint64_t alloc_refills = 0;      // reservation refills across shards
+    Bytes alloc_live = 0;                 // live heap bytes across shards
   };
 
   // Snapshot one daemon (walks its ModelTable; killed daemons still answer

@@ -8,30 +8,153 @@
 
 namespace portus::core {
 
+namespace {
+constexpr std::uint64_t kHeaderMagic = 0x504F525453483031ull;  // "PORTSH01"
+}
+
 PmemAllocator::PmemAllocator(pmem::PmemDevice& device, Config config)
     : device_{device}, config_{config}, bump_{config.data_offset} {
   PORTUS_CHECK_ARG(config_.data_offset < config_.data_end, "empty allocator heap");
   PORTUS_CHECK_ARG(config_.data_end <= device.size(), "heap exceeds device");
+  PORTUS_CHECK_ARG(config_.shards >= 1, "allocator needs at least one shard");
+  PORTUS_CHECK_ARG(config_.shards <= config_.table_capacity,
+                   "more shards than AllocTable entries");
+  per_shard_capacity_ = config_.table_capacity / config_.shards;
   PORTUS_CHECK_ARG(
-      config_.table_offset + static_cast<Bytes>(config_.table_capacity) * kEntrySize <=
+      config_.table_offset + kHeaderSize +
+              static_cast<Bytes>(config_.shards) * per_shard_capacity_ * kEntrySize <=
           config_.data_offset,
       "AllocTable overlaps the heap");
   PORTUS_CHECK_ARG((config_.alignment & (config_.alignment - 1)) == 0,
                    "alignment must be a power of two");
-  entries_.reserve(config_.table_capacity);
-  for (std::uint32_t i = 0; i < config_.table_capacity; ++i) {
-    entries_.push_back(std::make_unique<Entry>());
+  shards_.reserve(config_.shards);
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->entries.reserve(per_shard_capacity_);
+    for (std::uint32_t i = 0; i < per_shard_capacity_; ++i) {
+      sh->entries.push_back(std::make_unique<Entry>());
+    }
+    shards_.push_back(std::move(sh));
+  }
+  // A fresh (or foreign-geometry) device gets a fresh header; a matching
+  // one is left untouched so recover() can trust the image beneath it.
+  if (!header_matches()) write_header();
+}
+
+void PmemAllocator::write_header() {
+  BinaryWriter w;
+  w.u64(kHeaderMagic);
+  w.u32(config_.shards);
+  w.u32(per_shard_capacity_);
+  w.u64(config_.data_offset);
+  w.u64(config_.data_end);
+  w.u64(config_.alignment);
+  w.u64(config_.refill_bytes);  // informational: runtime policy, not geometry
+  w.u64(0);                     // reserved
+  w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
+  w.u32(0);  // pad to kHeaderSize
+  device_.write(config_.table_offset, w.buffer());
+  device_.persist(config_.table_offset, kHeaderSize);
+}
+
+bool PmemAllocator::header_matches() const {
+  const auto raw = device_.read(config_.table_offset, kHeaderSize);
+  BinaryReader r{raw};
+  const auto magic = r.u64();
+  const auto shards = r.u32();
+  const auto per_shard = r.u32();
+  const auto data_offset = r.u64();
+  const auto data_end = r.u64();
+  const auto alignment = r.u64();
+  r.u64();  // refill policy
+  r.u64();  // reserved
+  const auto crc = r.u32();
+  if (crc != Crc32::of(raw.data(), 56)) return false;
+  return magic == kHeaderMagic && shards == config_.shards &&
+         per_shard == per_shard_capacity_ && data_offset == config_.data_offset &&
+         data_end == config_.data_end && alignment == config_.alignment;
+}
+
+// --- quiesce guard ----------------------------------------------------------
+
+PmemAllocator::OpGuard::OpGuard(const PmemAllocator& a) : a_{a} {
+  a_.active_ops_.fetch_add(1, std::memory_order_acq_rel);
+  if (a_.paused_.load(std::memory_order_acquire) && !a_.quiesced_by_me()) {
+    a_.active_ops_.fetch_sub(1, std::memory_order_acq_rel);
+    throw InvalidArgument("allocator quiesced for maintenance (repack/fsck in flight)");
   }
 }
 
-void PmemAllocator::persist_entry(std::uint32_t index) {
-  const Entry& e = *entries_[index];
+PmemAllocator::OpGuard::~OpGuard() {
+  a_.active_ops_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void PmemAllocator::quiesce_acquire() {
+  const auto me = std::this_thread::get_id();
+  if (paused_.load(std::memory_order_acquire) &&
+      pause_owner_.load(std::memory_order_acquire) == me) {
+    ++pause_depth_;  // re-entrant: compact() inside a repacker Pause
+    return;
+  }
+  bool expected = false;
+  while (!paused_.compare_exchange_weak(expected, true, std::memory_order_acq_rel)) {
+    expected = false;
+    std::this_thread::yield();
+  }
+  pause_owner_.store(me, std::memory_order_release);
+  pause_depth_ = 1;
+  // Drain ops that raced past the flag before it flipped.
+  while (active_ops_.load(std::memory_order_acquire) != 0) std::this_thread::yield();
+}
+
+void PmemAllocator::quiesce_release() {
+  if (--pause_depth_ > 0) return;
+  pause_owner_.store(std::thread::id{}, std::memory_order_release);
+  paused_.store(false, std::memory_order_release);
+}
+
+bool PmemAllocator::quiesced_by_me() const {
+  return paused_.load(std::memory_order_acquire) &&
+         pause_owner_.load(std::memory_order_acquire) == std::this_thread::get_id();
+}
+
+// --- offset index -----------------------------------------------------------
+
+void PmemAllocator::map_insert(Bytes offset, std::uint32_t shard, std::uint32_t index) {
+  auto& b = bucket_for(offset);
+  std::lock_guard<std::mutex> lk{b.mu};
+  b.loc[offset] = (static_cast<std::uint64_t>(shard) << 32) | index;
+}
+
+void PmemAllocator::map_erase(Bytes offset) {
+  auto& b = bucket_for(offset);
+  std::lock_guard<std::mutex> lk{b.mu};
+  b.loc.erase(offset);
+}
+
+std::optional<std::pair<std::uint32_t, std::uint32_t>> PmemAllocator::map_find(
+    Bytes offset) const {
+  auto& b = bucket_for(offset);
+  std::lock_guard<std::mutex> lk{b.mu};
+  const auto it = b.loc.find(offset);
+  if (it == b.loc.end()) return std::nullopt;
+  return std::make_pair(static_cast<std::uint32_t>(it->second >> 32),
+                        static_cast<std::uint32_t>(it->second & 0xFFFFFFFFu));
+}
+
+// --- persistence ------------------------------------------------------------
+
+void PmemAllocator::persist_entry(std::uint32_t shard, std::uint32_t index) {
+  const Entry& e = *shards_[shard]->entries[index];
   // Write-through races with a concurrent claim/free of the same entry:
   // free() may persist FREE while an alloc() that just reused the extent
   // persists LIVE, and whichever lands last would wedge the table out of
   // sync with the DRAM mirror. Re-persist until the state we wrote is
   // still the live state — the loser of the CAS race re-writes the
-  // winner's state, so the table always converges to the mirror.
+  // winner's state, so the table always converges to the mirror. The
+  // shard persist lock keeps the racing device writes themselves ordered
+  // (see the persist_mu comment in the header).
+  std::lock_guard<std::mutex> persist_lk{shards_[shard]->persist_mu};
   while (true) {
     const auto state = e.state.load(std::memory_order_acquire);
     BinaryWriter w;
@@ -39,107 +162,208 @@ void PmemAllocator::persist_entry(std::uint32_t index) {
     w.u64(e.size);
     w.u32(state);
     w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
-    device_.write(table_slot_offset(index), w.buffer());
-    device_.persist(table_slot_offset(index), kEntrySize);
+    device_.write(table_slot_offset(shard, index), w.buffer());
+    device_.persist(table_slot_offset(shard, index), kEntrySize);
     if (e.state.load(std::memory_order_acquire) == state) return;
   }
 }
 
-Bytes PmemAllocator::alloc(Bytes size) {
-  PORTUS_CHECK_ARG(size > 0, "cannot allocate zero bytes");
-  size = (size + config_.alignment - 1) & ~(config_.alignment - 1);
+// --- allocation -------------------------------------------------------------
 
-  // First fit over freed extents, claimed lock-free.
-  const auto count = entry_count_.load(std::memory_order_acquire);
+std::uint32_t PmemAllocator::preferred_shard() const {
+  if (config_.shards == 1) return 0;
+  return static_cast<std::uint32_t>(std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+                                    config_.shards);
+}
+
+std::optional<Bytes> PmemAllocator::claim_free_extent(std::uint32_t shard, Bytes size) {
+  Shard& sh = *shards_[shard];
+  const auto count = sh.entry_count.load(std::memory_order_acquire);
+  // First fit over this shard's freed extents, claimed lock-free.
   for (std::uint32_t i = 0; i < count; ++i) {
-    Entry& e = *entries_[i];
-    if (e.size < size) continue;
+    Entry& e = *sh.entries[i];
+    if (e.size < size || e.size == 0) continue;
     auto expected = static_cast<std::uint32_t>(AllocState::kFree);
-    if (e.size > 0 &&
-        e.state.compare_exchange_strong(expected,
+    if (e.state.compare_exchange_strong(expected,
                                         static_cast<std::uint32_t>(AllocState::kClaimed),
                                         std::memory_order_acq_rel)) {
       e.state.store(static_cast<std::uint32_t>(AllocState::kLive),
                     std::memory_order_release);
-      persist_entry(i);
+      persist_entry(shard, i);
       return e.offset;
     }
   }
+  return std::nullopt;
+}
 
-  // Fresh space from the bump region.
-  const Bytes offset = bump_.fetch_add(size, std::memory_order_acq_rel);
-  if (offset + size > config_.data_end) {
-    bump_.fetch_sub(size, std::memory_order_acq_rel);
-    throw ResourceExhausted("PMEM heap exhausted (repack may reclaim space)");
+void PmemAllocator::flush_reservation(std::uint32_t shard) {
+  // Caller holds the shard's res_mu (alloc refill) or the quiesce pause.
+  Shard& sh = *shards_[shard];
+  const Bytes tail = sh.res_end - sh.res_cursor;
+  if (tail == 0) return;
+  const auto index = sh.entry_count.load(std::memory_order_acquire);
+  if (index < per_shard_capacity_) {
+    Entry& e = *sh.entries[index];
+    e.offset = sh.res_cursor;
+    e.size = tail;
+    e.state.store(static_cast<std::uint32_t>(AllocState::kFree),
+                  std::memory_order_release);
+    sh.entry_count.store(index + 1, std::memory_order_release);
+    map_insert(e.offset, shard, index);
+    persist_entry(shard, index);
   }
-  const auto index = entry_count_.fetch_add(1, std::memory_order_acq_rel);
-  if (index >= config_.table_capacity) {
-    entry_count_.fetch_sub(1, std::memory_order_acq_rel);
-    bump_.fetch_sub(size, std::memory_order_acq_rel);
-    throw ResourceExhausted("AllocTable full");
+  // Shard table full: the tail is abandoned as a heap gap; sweep_gaps()
+  // re-adopts it on the next maintenance pass.
+  sh.res_cursor = 0;
+  sh.res_end = 0;
+}
+
+Bytes PmemAllocator::alloc(Bytes size) { return alloc_on(preferred_shard(), size); }
+
+Bytes PmemAllocator::alloc_on(std::uint32_t shard, Bytes size) {
+  PORTUS_CHECK_ARG(size > 0, "cannot allocate zero bytes");
+  PORTUS_CHECK_ARG(shard < config_.shards, "shard index out of range");
+  size = (size + config_.alignment - 1) & ~(config_.alignment - 1);
+  OpGuard guard{*this};
+  Shard& sh = *shards_[shard];
+
+  if (const auto off = claim_free_extent(shard, size)) {
+    sh.reuse_hits.fetch_add(1, std::memory_order_relaxed);
+    sh.allocs.fetch_add(1, std::memory_order_relaxed);
+    return *off;
   }
-  Entry& e = *entries_[index];
-  e.offset = offset;
-  e.size = size;
-  e.state.store(static_cast<std::uint32_t>(AllocState::kLive), std::memory_order_release);
-  persist_entry(index);
-  return offset;
+
+  // Fresh space from the shard's reservation, refilled from the global bump.
+  const char* fail = nullptr;
+  {
+    std::lock_guard<std::mutex> lk{sh.res_mu};
+    if (sh.res_end - sh.res_cursor < size) {
+      const Bytes chunk = (std::max(config_.refill_bytes, size) + config_.alignment - 1) &
+                          ~(config_.alignment - 1);
+      const Bytes base = bump_.fetch_add(chunk, std::memory_order_acq_rel);
+      if (base + chunk > config_.data_end) {
+        bump_.fetch_sub(chunk, std::memory_order_acq_rel);
+        fail = "PMEM heap exhausted (repack may reclaim space)";
+      } else {
+        // Publish the old reservation's tail before switching — its persist
+        // is the mid-refill crash fence: a power cut leaves the tail either
+        // still unpublished (a sweepable gap) or a tracked FREE extent,
+        // never a range two shards both think they own.
+        flush_reservation(shard);
+        sh.res_cursor = base;
+        sh.res_end = base + chunk;
+        sh.refills.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (fail == nullptr) {
+      const auto index = sh.entry_count.load(std::memory_order_acquire);
+      if (index >= per_shard_capacity_) {
+        fail = "AllocTable shard full";
+      } else {
+        Entry& e = *sh.entries[index];
+        e.offset = sh.res_cursor;
+        e.size = size;
+        e.state.store(static_cast<std::uint32_t>(AllocState::kLive),
+                      std::memory_order_release);
+        sh.res_cursor += size;
+        sh.entry_count.store(index + 1, std::memory_order_release);
+        map_insert(e.offset, shard, index);
+        persist_entry(shard, index);
+        sh.allocs.fetch_add(1, std::memory_order_relaxed);
+        return e.offset;
+      }
+    }
+  }
+
+  // Slow path: steal a freed extent from another shard before giving up.
+  for (std::uint32_t t = 0; t < config_.shards; ++t) {
+    if (t == shard) continue;
+    if (const auto off = claim_free_extent(t, size)) {
+      sh.steals.fetch_add(1, std::memory_order_relaxed);
+      sh.allocs.fetch_add(1, std::memory_order_relaxed);
+      return *off;
+    }
+  }
+  throw ResourceExhausted(fail);
 }
 
 void PmemAllocator::free(Bytes offset) {
-  const auto count = entry_count_.load(std::memory_order_acquire);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    Entry& e = *entries_[i];
-    if (e.offset != offset || e.size == 0) continue;
-    auto expected = static_cast<std::uint32_t>(AllocState::kLive);
-    if (e.state.compare_exchange_strong(expected,
-                                        static_cast<std::uint32_t>(AllocState::kFree),
-                                        std::memory_order_acq_rel)) {
-      persist_entry(i);
-      return;
-    }
+  OpGuard guard{*this};
+  const auto loc = map_find(offset);
+  if (!loc.has_value()) throw InvalidArgument("free of unknown PMEM offset");
+  Shard& sh = *shards_[loc->first];
+  Entry& e = *sh.entries[loc->second];
+  PORTUS_CHECK(e.offset == offset && e.size > 0,
+               "offset index out of sync with the AllocTable mirror");
+  auto expected = static_cast<std::uint32_t>(AllocState::kLive);
+  if (!e.state.compare_exchange_strong(expected,
+                                       static_cast<std::uint32_t>(AllocState::kFree),
+                                       std::memory_order_acq_rel)) {
     throw InvalidArgument("double free of PMEM extent");
   }
-  throw InvalidArgument("free of unknown PMEM offset");
+  persist_entry(loc->first, loc->second);
+  sh.frees.fetch_add(1, std::memory_order_relaxed);
 }
 
+// --- recovery / maintenance -------------------------------------------------
+
 void PmemAllocator::recover() {
-  entry_count_.store(0, std::memory_order_release);
-  Bytes high_water = config_.data_offset;
-  std::uint32_t count = 0;
-  for (std::uint32_t i = 0; i < config_.table_capacity; ++i) {
-    const auto raw = device_.read(table_slot_offset(i), kEntrySize);
-    BinaryReader r{raw};
-    const Bytes offset = r.u64();
-    const Bytes size = r.u64();
-    const auto state = r.u32();
-    const auto crc = r.u32();
-    if (crc != Crc32::of(raw.data(), 20)) continue;  // torn or never written
-    if (size == 0) continue;                         // dead entry
-    Entry& e = *entries_[i];
-    e.offset = offset;
-    e.size = size;
-    // A crash mid-allocation leaves CLAIMED; nothing can reference it yet,
-    // so it recovers as FREE.
-    const auto st = state == static_cast<std::uint32_t>(AllocState::kLive)
-                        ? AllocState::kLive
-                        : AllocState::kFree;
-    e.state.store(static_cast<std::uint32_t>(st), std::memory_order_release);
-    high_water = std::max(high_water, offset + size);
-    count = std::max(count, i + 1);
+  Pause pause{*this};
+  PORTUS_CHECK(header_matches(), "AllocTable header torn or geometry mismatch");
+  for (auto& b : map_) {
+    std::lock_guard<std::mutex> lk{b.mu};
+    b.loc.clear();
   }
-  entry_count_.store(count, std::memory_order_release);
+  Bytes high_water = config_.data_offset;
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    Shard& sh = *shards_[s];
+    std::lock_guard<std::mutex> lk{sh.res_mu};
+    // A crash abandons any unpublished reservation tail; it resurfaces as
+    // a heap gap for sweep_gaps(), never as a live reservation.
+    sh.res_cursor = 0;
+    sh.res_end = 0;
+    std::uint32_t count = 0;
+    for (std::uint32_t i = 0; i < per_shard_capacity_; ++i) {
+      Entry& e = *sh.entries[i];
+      e.offset = 0;
+      e.size = 0;
+      e.state.store(static_cast<std::uint32_t>(AllocState::kFree),
+                    std::memory_order_release);
+      const auto raw = device_.read(table_slot_offset(s, i), kEntrySize);
+      BinaryReader r{raw};
+      const Bytes offset = r.u64();
+      const Bytes size = r.u64();
+      const auto state = r.u32();
+      const auto crc = r.u32();
+      if (crc != Crc32::of(raw.data(), 20)) continue;  // torn or never written
+      if (size == 0) continue;                         // dead entry
+      e.offset = offset;
+      e.size = size;
+      // A crash mid-allocation leaves CLAIMED; nothing can reference it yet,
+      // so it recovers as FREE.
+      const auto st = state == static_cast<std::uint32_t>(AllocState::kLive)
+                          ? AllocState::kLive
+                          : AllocState::kFree;
+      e.state.store(static_cast<std::uint32_t>(st), std::memory_order_release);
+      map_insert(offset, s, i);
+      high_water = std::max(high_water, offset + size);
+      count = std::max(count, i + 1);
+    }
+    sh.entry_count.store(count, std::memory_order_release);
+  }
   bump_.store(high_water, std::memory_order_release);
 }
 
 Bytes PmemAllocator::live_bytes() const {
   Bytes total = 0;
-  const auto count = entry_count_.load(std::memory_order_acquire);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const Entry& e = *entries_[i];
-    if (e.state.load(std::memory_order_acquire) ==
-        static_cast<std::uint32_t>(AllocState::kLive)) {
-      total += e.size;
+  for (const auto& sh : shards_) {
+    const auto count = sh->entry_count.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Entry& e = *sh->entries[i];
+      if (e.state.load(std::memory_order_acquire) ==
+          static_cast<std::uint32_t>(AllocState::kLive)) {
+        total += e.size;
+      }
     }
   }
   return total;
@@ -147,12 +371,14 @@ Bytes PmemAllocator::live_bytes() const {
 
 Bytes PmemAllocator::free_listed_bytes() const {
   Bytes total = 0;
-  const auto count = entry_count_.load(std::memory_order_acquire);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const Entry& e = *entries_[i];
-    if (e.size > 0 && e.state.load(std::memory_order_acquire) ==
-                          static_cast<std::uint32_t>(AllocState::kFree)) {
-      total += e.size;
+  for (const auto& sh : shards_) {
+    const auto count = sh->entry_count.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Entry& e = *sh->entries[i];
+      if (e.size > 0 && e.state.load(std::memory_order_acquire) ==
+                            static_cast<std::uint32_t>(AllocState::kFree)) {
+        total += e.size;
+      }
     }
   }
   return total;
@@ -160,44 +386,121 @@ Bytes PmemAllocator::free_listed_bytes() const {
 
 std::vector<PmemAllocator::Extent> PmemAllocator::extents() const {
   std::vector<Extent> out;
-  const auto count = entry_count_.load(std::memory_order_acquire);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const Entry& e = *entries_[i];
-    if (e.size == 0) continue;
-    out.push_back(Extent{e.offset, e.size,
-                         static_cast<AllocState>(e.state.load(std::memory_order_acquire))});
+  for (const auto& sh : shards_) {
+    const auto count = sh->entry_count.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Entry& e = *sh->entries[i];
+      if (e.size == 0) continue;
+      out.push_back(Extent{e.offset, e.size,
+                           static_cast<AllocState>(e.state.load(std::memory_order_acquire))});
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const Extent& a, const Extent& b) { return a.offset < b.offset; });
   return out;
 }
 
+std::vector<PmemAllocator::ShardStats> PmemAllocator::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(config_.shards);
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    Shard& sh = *shards_[s];
+    ShardStats st;
+    st.shard = s;
+    st.capacity = per_shard_capacity_;
+    const auto count = sh.entry_count.load(std::memory_order_acquire);
+    st.entries = count;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const Entry& e = *sh.entries[i];
+      if (e.size == 0) continue;
+      const auto state = e.state.load(std::memory_order_acquire);
+      if (state == static_cast<std::uint32_t>(AllocState::kLive)) st.live += e.size;
+      if (state == static_cast<std::uint32_t>(AllocState::kFree)) st.free_listed += e.size;
+    }
+    {
+      std::lock_guard<std::mutex> lk{sh.res_mu};
+      st.reserved = sh.res_end - sh.res_cursor;
+    }
+    st.allocs = sh.allocs.load(std::memory_order_relaxed);
+    st.frees = sh.frees.load(std::memory_order_relaxed);
+    st.refills = sh.refills.load(std::memory_order_relaxed);
+    st.reuse_hits = sh.reuse_hits.load(std::memory_order_relaxed);
+    st.steals = sh.steals.load(std::memory_order_relaxed);
+    out.push_back(st);
+  }
+  return out;
+}
+
+PmemAllocator::TableScrub PmemAllocator::scrub_table() const {
+  TableScrub out;
+  out.header_valid = header_matches();
+  out.shards = config_.shards;
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    for (std::uint32_t i = 0; i < per_shard_capacity_; ++i) {
+      const auto raw = device_.read(table_slot_offset(s, i), kEntrySize);
+      BinaryReader r{raw};
+      r.u64();  // offset
+      r.u64();  // size
+      r.u32();  // state
+      const auto crc = r.u32();
+      if (crc == Crc32::of(raw.data(), 20)) continue;
+      const bool all_zero = std::all_of(raw.begin(), raw.end(),
+                                        [](std::byte b) { return b == std::byte{0}; });
+      if (!all_zero) ++out.torn_entries;
+    }
+  }
+  return out;
+}
+
 Bytes PmemAllocator::sweep_gaps() {
-  // Single-threaded by contract (see header).
+  Pause pause{*this};
+  // Reservations are owned space, not leaks: publish their tails first so
+  // the gap scan below only ever adopts genuinely untracked bytes.
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    std::lock_guard<std::mutex> lk{shards_[s]->res_mu};
+    flush_reservation(s);
+  }
   Bytes adopted = 0;
   Bytes cursor = config_.data_offset;
   const auto adopt_up_to = [&](Bytes end) {
     if (end <= cursor) return;
-    const auto count = entry_count_.load(std::memory_order_acquire);
-    std::uint32_t idx = count;
-    for (std::uint32_t i = 0; i < count; ++i) {
-      if (entries_[i]->size == 0) {
-        idx = i;  // reuse a dead slot
-        break;
+    // Reuse a dead table slot anywhere, else append to a shard with room.
+    std::uint32_t s = 0;
+    std::uint32_t idx = 0;
+    bool found = false;
+    for (std::uint32_t t = 0; t < config_.shards && !found; ++t) {
+      const auto count = shards_[t]->entry_count.load(std::memory_order_acquire);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (shards_[t]->entries[i]->size == 0) {
+          s = t;
+          idx = i;
+          found = true;
+          break;
+        }
       }
     }
-    if (idx == count) {
-      if (count >= config_.table_capacity) {
-        throw ResourceExhausted("AllocTable full while adopting leaked extents");
+    if (!found) {
+      for (std::uint32_t t = 0; t < config_.shards; ++t) {
+        const auto count = shards_[t]->entry_count.load(std::memory_order_acquire);
+        if (count < per_shard_capacity_) {
+          s = t;
+          idx = count;
+          shards_[t]->entry_count.store(count + 1, std::memory_order_release);
+          found = true;
+          break;
+        }
       }
-      entry_count_.store(count + 1, std::memory_order_release);
     }
-    Entry& e = *entries_[idx];
+    if (!found) {
+      throw ResourceExhausted("AllocTable full while adopting leaked extents");
+    }
+    Entry& e = *shards_[s]->entries[idx];
     e.offset = cursor;
     e.size = end - cursor;
     e.state.store(static_cast<std::uint32_t>(AllocState::kFree),
                   std::memory_order_release);
-    persist_entry(idx);
+    map_insert(e.offset, s, idx);
+    persist_entry(s, idx);
     adopted += end - cursor;
   };
   for (const auto& ext : extents()) {
@@ -209,27 +512,37 @@ Bytes PmemAllocator::sweep_gaps() {
 }
 
 Bytes PmemAllocator::compact() {
-  // Single-threaded by contract. Repeatedly absorb the highest free extent
-  // that touches the bump pointer.
+  Pause pause{*this};
+  // Reservation tails sit right under the bump pointer more often than not;
+  // publishing them as FREE entries lets the absorb loop reclaim them too.
+  for (std::uint32_t s = 0; s < config_.shards; ++s) {
+    std::lock_guard<std::mutex> lk{shards_[s]->res_mu};
+    flush_reservation(s);
+  }
+  // Repeatedly absorb the free extent (any shard) touching the bump pointer.
   Bytes reclaimed = 0;
   bool progress = true;
   while (progress) {
     progress = false;
-    const auto count = entry_count_.load(std::memory_order_acquire);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      Entry& e = *entries_[i];
-      if (e.size == 0) continue;
-      if (e.state.load(std::memory_order_acquire) !=
-          static_cast<std::uint32_t>(AllocState::kFree)) {
-        continue;
-      }
-      if (e.offset + e.size == bump_.load(std::memory_order_acquire)) {
-        bump_.store(e.offset, std::memory_order_release);
-        reclaimed += e.size;
-        e.size = 0;
-        e.offset = 0;
-        persist_entry(i);
-        progress = true;
+    for (std::uint32_t s = 0; s < config_.shards; ++s) {
+      Shard& sh = *shards_[s];
+      const auto count = sh.entry_count.load(std::memory_order_acquire);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        Entry& e = *sh.entries[i];
+        if (e.size == 0) continue;
+        if (e.state.load(std::memory_order_acquire) !=
+            static_cast<std::uint32_t>(AllocState::kFree)) {
+          continue;
+        }
+        if (e.offset + e.size == bump_.load(std::memory_order_acquire)) {
+          bump_.store(e.offset, std::memory_order_release);
+          reclaimed += e.size;
+          map_erase(e.offset);
+          e.size = 0;
+          e.offset = 0;
+          persist_entry(s, i);
+          progress = true;
+        }
       }
     }
   }

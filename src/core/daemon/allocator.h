@@ -1,4 +1,4 @@
-// PMEM allocator with a persistent AllocTable (SS III-B).
+// Sharded PMEM allocator with a persistent AllocTable (SS III-B).
 //
 // The daemon allocates contiguous TensorData regions and MIndex records out
 // of the devdax namespace. Allocation status lives in two places:
@@ -8,14 +8,44 @@
 //   * the persistent AllocTable region on PMEM, written through after every
 //     state change so a restarted daemon can rebuild its heap.
 //
-// Policy: first-fit reuse of freed extents (CAS FREE -> CLAIMED), falling
-// back to an atomic bump pointer for fresh space. The repacker compacts
-// trailing free extents back into the bump region.
+// The table is split into N per-shard arenas so concurrent workers do not
+// serialize on one set of cache lines (DiStore-style segment preallocation):
+//
+//   [64 B header: magic | shards | per-shard capacity | geometry | crc]
+//   [shard 0: per_shard_capacity x 24 B entries]
+//   ...
+//   [shard N-1: per_shard_capacity x 24 B entries]
+//
+// Each shard owns its entry range, its own free list (CAS FREE -> CLAIMED
+// reuse, first fit), and a private bump *reservation* carved from the global
+// bump pointer in refill_bytes chunks — with refill enabled a worker only
+// touches shared state once per refill, not once per alloc. Refilling a
+// shard that still holds reservation leftovers first publishes the leftover
+// as a FREE entry (its persist is the mid-refill crash fence: a power cut
+// there leaves either the old reservation tracked or a clean FREE extent,
+// never a double-owned range). A crash abandons unpublished reservation
+// tails as heap gaps; recover() rebuilds per shard and sweep_gaps() adopts
+// the gaps back.
+//
+// Allocation policy per shard: own free list -> reservation -> refill from
+// the global bump -> steal a freed extent from another shard -> throw.
+// Freed extents are indexed by offset in a DRAM hash map so free() is O(1).
+//
+// Defaults (shards = 1, refill_bytes = 0) degenerate to the classic single
+// arena: every fresh alloc reserves exactly its own size from the global
+// bump, so offsets, table contents and compaction behave bit-identically to
+// the unsharded allocator.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
@@ -29,10 +59,15 @@ class PmemAllocator {
  public:
   struct Config {
     Bytes table_offset = 0;       // persistent AllocTable location
-    std::uint32_t table_capacity = 4096;  // max tracked extents
+    std::uint32_t table_capacity = 4096;  // max tracked extents (all shards)
     Bytes data_offset = 0;        // heap start
     Bytes data_end = 0;           // heap end (exclusive)
     Bytes alignment = 256;        // XPLine alignment
+    std::uint32_t shards = 1;     // per-worker arenas (table split N ways)
+    // Reservation chunk a shard grabs from the global bump when its local
+    // region runs dry. 0 = reserve exactly the requested size (classic
+    // bump-per-alloc behavior, no leftovers).
+    Bytes refill_bytes = 0;
   };
 
   struct Extent {
@@ -41,16 +76,65 @@ class PmemAllocator {
     AllocState state = AllocState::kFree;
   };
 
+  // Per-shard observability (portusctl stats / cluster-status).
+  struct ShardStats {
+    std::uint32_t shard = 0;
+    std::uint32_t entries = 0;   // table slots in use (including dead ones)
+    std::uint32_t capacity = 0;  // per-shard entry capacity
+    Bytes live = 0;
+    Bytes free_listed = 0;
+    Bytes reserved = 0;          // unconsumed local reservation
+    std::uint64_t allocs = 0;
+    std::uint64_t frees = 0;
+    std::uint64_t refills = 0;     // global-bump reservations taken
+    std::uint64_t reuse_hits = 0;  // allocs served from the own free list
+    std::uint64_t steals = 0;      // allocs served from another shard's list
+  };
+
+  // Persistent-table scrub (fsck pass 0): re-validate the sharded header
+  // and every entry's CRC straight from the device, independent of the
+  // DRAM mirror. recover() silently skips torn entries — their extents
+  // resurface as heap gaps — so this is the only place their count is
+  // observable. Never-written (all-zero) slots do not count as torn.
+  struct TableScrub {
+    bool header_valid = false;
+    std::uint32_t shards = 0;
+    std::uint32_t torn_entries = 0;
+  };
+
+  // RAII quiesce guard: blocks until every in-flight alloc()/free() has
+  // drained, then fails new ones until released. compact()/sweep_gaps()
+  // acquire it themselves; maintenance passes that also free extents
+  // (repacker, fsck repair) hold one Pause across the whole pass — the
+  // owning thread's own alloc/free calls are exempt, everyone else's throw
+  // instead of silently racing the table rewrite. Re-entrant per thread.
+  class Pause {
+   public:
+    explicit Pause(PmemAllocator& a) : a_{a} { a_.quiesce_acquire(); }
+    ~Pause() { a_.quiesce_release(); }
+    Pause(const Pause&) = delete;
+    Pause& operator=(const Pause&) = delete;
+
+   private:
+    PmemAllocator& a_;
+  };
+
   PmemAllocator(pmem::PmemDevice& device, Config config);
 
-  // Allocate `size` bytes; returns the device offset. Thread-safe
-  // (lock-free: CAS claims + atomic bump).
+  // Allocate `size` bytes; returns the device offset. Thread-safe: CAS
+  // free-list claims + shard-local reservations (the global bump is only
+  // touched on refill). The shard is picked by thread identity.
   Bytes alloc(Bytes size);
+  // Same, on an explicit shard (daemon workers pin their own arena).
+  Bytes alloc_on(std::uint32_t shard, Bytes size);
 
-  // Release a previously allocated extent (by its exact offset).
+  // Release a previously allocated extent (by its exact offset). O(1):
+  // the extent is looked up in the DRAM offset index, not scanned.
   void free(Bytes offset);
 
   // Rebuild the DRAM mirror from the persistent AllocTable (daemon restart).
+  // Validates the sharded-table header; reservations reset to empty (a
+  // crash-abandoned reservation tail becomes a heap gap for sweep_gaps()).
   void recover();
 
   // --- introspection / repacker support ---
@@ -58,22 +142,29 @@ class PmemAllocator {
   Bytes live_bytes() const;
   Bytes free_listed_bytes() const;  // freed-but-not-reclaimed extents
   Bytes capacity() const { return config_.data_end - config_.data_offset; }
+  std::uint32_t shard_count() const { return config_.shards; }
   std::vector<Extent> extents() const;
+  std::vector<ShardStats> shard_stats() const;
+  TableScrub scrub_table() const;
+  bool quiesced() const { return paused_.load(std::memory_order_acquire); }
 
   // Reclaim trailing free extents into the bump region and drop free
-  // entries that were fully reabsorbed. NOT thread-safe: callers must
-  // quiesce allocation (the repacker runs with the daemon idle).
+  // entries that were fully reabsorbed. Self-quiescing: acquires a Pause
+  // (no-op if the calling thread already holds one) so live allocation
+  // cannot race the rewrite. Shard reservations are flushed back to FREE
+  // entries first so their tails are reclaimable too.
   Bytes compact();
 
   // Adopt untracked heap bytes back as FREE extents. A crash can tear an
-  // AllocTable entry whose extent sits *between* surviving entries:
-  // recover() skips the torn entry, the bump pointer stays beyond it, and
-  // the bytes leak — nothing references them and compact() cannot reach
-  // them. Every hole below the bump pointer becomes a FREE entry again
-  // (reusing a dead table slot or appending one). Returns the adopted byte
-  // count. NOT thread-safe: repacker/fsck only, allocation quiesced.
+  // AllocTable entry whose extent sits *between* surviving entries, or
+  // abandon a shard reservation's unpublished tail: recover() skips them,
+  // the bump pointer stays beyond, and the bytes leak. Every hole below
+  // the bump pointer becomes a FREE entry again (reusing a dead table slot
+  // or appending one). Returns the adopted byte count. Self-quiescing like
+  // compact().
   Bytes sweep_gaps();
 
+  static constexpr Bytes kHeaderSize = 64;
   static constexpr Bytes kEntrySize = 24;  // offset u64 | size u64 | state u32 | crc u32
 
  private:
@@ -83,16 +174,76 @@ class PmemAllocator {
     std::atomic<std::uint32_t> state{0};
   };
 
-  void persist_entry(std::uint32_t index);
-  Bytes table_slot_offset(std::uint32_t index) const {
-    return config_.table_offset + static_cast<Bytes>(index) * kEntrySize;
+  struct Shard {
+    std::vector<std::unique_ptr<Entry>> entries;
+    std::atomic<std::uint32_t> entry_count{0};
+    // Serializes the persist write-through only (device_.write of entry
+    // images). Real PMEM updates entries with 8-byte atomic stores + clwb;
+    // the simulated device writes via memcpy, so racing re-persists of the
+    // same entry — benign by the convergence loop in persist_entry() —
+    // would still be a C++ data race without this. Never touched by the
+    // CAS claim fast path itself, only around the device write.
+    std::mutex persist_mu;
+    std::mutex res_mu;     // guards the local reservation cursor
+    Bytes res_cursor = 0;  // next unconsumed reservation byte
+    Bytes res_end = 0;     // reservation end (exclusive)
+    std::atomic<std::uint64_t> allocs{0};
+    std::atomic<std::uint64_t> frees{0};
+    std::atomic<std::uint64_t> refills{0};
+    std::atomic<std::uint64_t> reuse_hits{0};
+    std::atomic<std::uint64_t> steals{0};
+  };
+
+  // DRAM offset -> (shard, entry) index for O(1) free(); bucketed so
+  // concurrent inserts/lookups shard their locks too.
+  static constexpr std::size_t kMapBuckets = 64;
+  struct MapBucket {
+    mutable std::mutex mu;
+    std::unordered_map<Bytes, std::uint64_t> loc;  // offset -> shard<<32|index
+  };
+
+  // Throws unless alloc/free are admissible (quiesce guard); counts the op.
+  struct OpGuard {
+    explicit OpGuard(const PmemAllocator& a);
+    ~OpGuard();
+    const PmemAllocator& a_;
+  };
+
+  void write_header();
+  bool header_matches() const;  // valid CRC + this geometry
+  void persist_entry(std::uint32_t shard, std::uint32_t index);
+  Bytes table_slot_offset(std::uint32_t shard, std::uint32_t index) const {
+    const auto global = static_cast<Bytes>(shard) * per_shard_capacity_ + index;
+    return config_.table_offset + kHeaderSize + global * kEntrySize;
   }
+  std::uint32_t preferred_shard() const;
+  std::optional<Bytes> claim_free_extent(std::uint32_t shard, Bytes size);
+  // Publish a shard's unconsumed reservation as a FREE entry and empty it.
+  // Caller holds shard.res_mu (alloc refill) or the quiesce pause.
+  void flush_reservation(std::uint32_t shard);
+  void map_insert(Bytes offset, std::uint32_t shard, std::uint32_t index);
+  void map_erase(Bytes offset);
+  std::optional<std::pair<std::uint32_t, std::uint32_t>> map_find(Bytes offset) const;
+  MapBucket& bucket_for(Bytes offset) const {
+    return map_[std::hash<Bytes>{}(offset) % kMapBuckets];
+  }
+
+  void quiesce_acquire();
+  void quiesce_release();
+  bool quiesced_by_me() const;
 
   pmem::PmemDevice& device_;
   Config config_;
-  std::vector<std::unique_ptr<Entry>> entries_;
-  std::atomic<std::uint32_t> entry_count_{0};
+  std::uint32_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::array<MapBucket, kMapBuckets> map_;
   std::atomic<Bytes> bump_;
+
+  // Quiesce guard state (see Pause).
+  mutable std::atomic<int> active_ops_{0};
+  std::atomic<bool> paused_{false};
+  std::atomic<std::thread::id> pause_owner_{};
+  int pause_depth_ = 0;  // owner-thread only
 };
 
 }  // namespace portus::core

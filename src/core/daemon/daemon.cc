@@ -34,7 +34,9 @@ PortusDaemon::PortusDaemon(net::Cluster& cluster, net::Node& storage_node,
       device_, PmemAllocator::Config{.table_offset = kAllocTableOffset,
                                      .table_capacity = config_.alloc_table_capacity,
                                      .data_offset = kHeapOffset,
-                                     .data_end = device_.size()});
+                                     .data_end = device_.size(),
+                                     .shards = config_.shards,
+                                     .refill_bytes = config_.alloc_refill_bytes});
   workers_ = std::make_unique<sim::SimSemaphore>(cluster.engine(), config_.workers);
 }
 
@@ -97,6 +99,8 @@ void PortusDaemon::absorb_pipeline_stats(const PipelinedTransfer::Stats& s) {
   stats_.wrs_posted += s.wrs_posted;
   stats_.sges_posted += s.sges_posted;
   stats_.extents_coalesced += s.extents_coalesced;
+  stats_.doorbells += s.doorbells;
+  stats_.admission_windows += s.admission_windows;
   stats_.rdma_bytes += s.rdma_bytes;
   stats_.peak_window = std::max(stats_.peak_window, s.peak_outstanding);
   stats_.window_chunk_seconds += s.occupancy_integral;
@@ -339,7 +343,8 @@ sim::SubTask<CheckpointDoneMsg> PortusDaemon::handle_checkpoint(CheckpointReqMsg
     }
 
     PipelinedTransfer pipe{cluster_.engine(), session.qps, *session.cq,
-                           PipelinedTransfer::Config{.window = config_.pipeline_window}};
+                           PipelinedTransfer::Config{.window = config_.pipeline_window,
+                                                  .batch_doorbells = config_.batch_doorbells}};
     pipe.bind_pmem(&device_, &node_.devdax_write_channel(),
                    node_.devdax().device().perf().read_bw);
     co_await pipe.run(std::move(work));
@@ -470,7 +475,8 @@ sim::SubTask<RestoreDoneMsg> PortusDaemon::handle_restore(RestoreReqMsg msg) {
     }
 
     PipelinedTransfer pipe{cluster_.engine(), session.qps, *session.cq,
-                           PipelinedTransfer::Config{.window = config_.pipeline_window}};
+                           PipelinedTransfer::Config{.window = config_.pipeline_window,
+                                                  .batch_doorbells = config_.batch_doorbells}};
     co_await pipe.run(std::move(work));
     absorb_pipeline_stats(pipe.stats());
 

@@ -46,6 +46,15 @@ class PortusDaemon {
     int workers = 8;
     std::uint32_t model_table_capacity = 224;   // fits in [4 KiB, 18 KiB)
     std::uint32_t alloc_table_capacity = 8192;
+    // Allocator shards (per-worker arenas; see core/daemon/allocator.h).
+    // 1 = the classic single arena, bit-identical offsets and compaction.
+    // Match `workers` to give every worker its own table region and free
+    // list; the alloc_table_capacity is split evenly across shards.
+    std::uint32_t shards = 1;
+    // Shard reservation refill: how much fresh heap a shard grabs from the
+    // global bump when its local region runs dry. 0 = reserve exactly each
+    // request's size (classic bump-per-alloc).
+    Bytes alloc_refill_bytes = 0;
     std::string endpoint = "portusd";
     // Optional timeline tracing of checkpoint/restore operations.
     sim::Tracer* tracer = nullptr;
@@ -68,6 +77,10 @@ class PortusDaemon {
     // Gather-list budget per work request; the effective per-session value
     // is min(this, the client's offered capability, this NIC's max_sges).
     int max_sges = 16;
+    // Flush each admission burst's WRs as one chained post per lane (one
+    // doorbell per lane per window) instead of ringing per extent. Off
+    // reproduces the per-extent doorbell datapath bit-for-bit.
+    bool batch_doorbells = true;
     // Fault injection: when set, start() registers this daemon as a kill
     // target named `endpoint`, so tests/benches can crash or hang it at a
     // chosen point in virtual time (sim/fault.h).
@@ -93,6 +106,8 @@ class PortusDaemon {
     std::uint64_t wrs_posted = 0;         // RDMA WRs (a gather extent = 1)
     std::uint64_t sges_posted = 0;        // remote SGEs across those WRs
     std::uint64_t extents_coalesced = 0;  // chunks that fused > 1 tensor
+    std::uint64_t doorbells = 0;          // post() calls (a chained batch = 1)
+    std::uint64_t admission_windows = 0;  // bursts that posted RDMA work
     Bytes rdma_bytes = 0;
     int peak_window = 0;                  // max chunks in flight in any op
     double window_chunk_seconds = 0.0;    // ∫ outstanding dt, all ops
@@ -113,6 +128,16 @@ class PortusDaemon {
     double bytes_per_wr() const {
       return wrs_posted > 0 ? static_cast<double>(rdma_bytes) / static_cast<double>(wrs_posted)
                             : 0.0;
+    }
+    double doorbells_per_window() const {
+      return admission_windows > 0
+                 ? static_cast<double>(doorbells) / static_cast<double>(admission_windows)
+                 : 0.0;
+    }
+    double wrs_per_doorbell() const {
+      return doorbells > 0
+                 ? static_cast<double>(wrs_posted) / static_cast<double>(doorbells)
+                 : 0.0;
     }
   };
 

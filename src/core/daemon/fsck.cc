@@ -16,6 +16,21 @@ Fsck::Report Fsck::run(bool repair) {
   auto& allocator = daemon_.allocator();
   auto& device = daemon_.device();
 
+  // Pass 0: the persistent sharded AllocTable itself. recover() silently
+  // skips entries whose CRC fails, so this scrub is the only place a torn
+  // entry is ever counted — it explains the heap gaps repair adopts below.
+  const auto scrub = allocator.scrub_table();
+  report.alloc_header_valid = scrub.header_valid;
+  report.shard_tables = scrub.shards;
+  report.torn_entries = scrub.torn_entries;
+  if (!scrub.header_valid) {
+    PLOG_INFO(kLog, "AllocTable header invalid across {} shards", scrub.shards);
+  }
+  if (scrub.torn_entries > 0) {
+    PLOG_INFO(kLog, "{} torn AllocTable entries across {} shards", scrub.torn_entries,
+              scrub.shards);
+  }
+
   // Pass 1: walk every tabled model and scrub its record and slots.
   // Offsets that survive the pass are the reference set for the orphan
   // sweep below (demoted slots deliberately drop out of it).

@@ -27,6 +27,13 @@ class Fsck {
  public:
   struct Report {
     int models_scanned = 0;
+    // Sharded AllocTable scrub (pass 0). Torn entries are informational:
+    // recover() already dropped them from the DRAM mirror, and the bytes
+    // they tracked come back via the gap sweep — but the count explains
+    // where adopted gaps came from after a power cut.
+    bool alloc_header_valid = true;
+    std::uint32_t shard_tables = 0;  // allocator arenas scanned
+    std::uint32_t torn_entries = 0;  // persistent entries failing their CRC
     int torn_records = 0;        // MIndex records that failed to load
     int active_demoted = 0;      // ACTIVE (crash-leftover) slots demoted
     int corrupt_demoted = 0;     // DONE slots failing the payload scrub
@@ -39,11 +46,12 @@ class Fsck {
     bool repaired = false;
 
     // True when the image needed no attention. Housekeeping yields
-    // (gaps/compaction) do not count against cleanliness.
+    // (gaps/compaction) and torn-entry counts do not count against
+    // cleanliness — their bytes are re-adopted, not lost.
     bool clean() const {
-      return torn_records == 0 && active_demoted == 0 && corrupt_demoted == 0 &&
-             corrupt_tensors == 0 && orphaned_extents == 0 &&
-             overlap_violations == 0;
+      return alloc_header_valid && torn_records == 0 && active_demoted == 0 &&
+             corrupt_demoted == 0 && corrupt_tensors == 0 &&
+             orphaned_extents == 0 && overlap_violations == 0;
     }
   };
 

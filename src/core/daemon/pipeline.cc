@@ -1,6 +1,7 @@
 #include "core/daemon/pipeline.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/crc32.h"
 #include "common/strformat.h"
@@ -67,7 +68,65 @@ sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
   Time head_since = start;  // when the current head chunk became eligible
   std::string failure;
 
+  // Per-lane WR accumulators: an admission burst's extents are flushed as
+  // one chained post per lane — one doorbell per lane per window.
+  std::vector<std::vector<rdma::WorkRequest>> lane_batch(lanes);
+
+  // Completion processing is synchronous (CRC + persist are device calls),
+  // so the drain below can greedily soak up every completion already
+  // delivered before re-admitting — whole windows refill at once and the
+  // batches stay wide.
+  const auto process = [&](const rdma::WorkCompletion& wc) {
+    const auto it = in_flight.find(wc.wr_id);
+    PORTUS_CHECK(it != in_flight.end(), "foreign completion drained by pipelined transfer");
+    const std::size_t idx = it->second;
+    in_flight.erase(it);
+    ++lane_free[idx % lanes];
+    account(-1);
+
+    const TransferChunk& c = chunks[idx];
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      if (failure.empty()) {
+        failure = strf("{} failed on chunk of tensor {}: {}", to_string(wc.opcode),
+                       c.tensor_index, to_string(wc.status));
+      }
+      return;
+    }
+    if (c.collect_crc) {
+      // CRC before the persist: same bytes either way (persist only changes
+      // durability state), but the read models the inline checksum landing
+      // while the line is still cache-hot.
+      PORTUS_CHECK(device_ != nullptr, "collect_crc chunk with no PMEM binding");
+      const Bytes at = c.kind == TransferChunk::Kind::kLocalCopy ? c.dst_offset
+                                                                 : c.persist_offset;
+      if (c.members.empty()) {
+        chunk_crcs_.push_back(ChunkCrc{.tensor_index = c.tensor_index,
+                                       .tensor_offset = c.tensor_offset,
+                                       .len = c.len,
+                                       .crc = device_->crc(at, c.len)});
+      } else {
+        // Split the landed extent back into per-tensor CRC records: each
+        // member is a whole tensor (offset 0), so its record IS its final
+        // per-tensor CRC — no combine step needed for coalesced members.
+        Bytes off = 0;
+        for (const auto& m : c.members) {
+          chunk_crcs_.push_back(ChunkCrc{.tensor_index = m.tensor_index,
+                                         .tensor_offset = 0,
+                                         .len = m.len,
+                                         .crc = device_->crc(at + off, m.len)});
+          off += m.len;
+        }
+      }
+    }
+    if (c.persist_after) {
+      PORTUS_CHECK(device_ != nullptr, "persist_after chunk with no PMEM binding");
+      device_->persist(c.persist_offset, c.len);
+      stats_.bytes_persisted += c.len;
+    }
+  };
+
   while (next < chunks.size() || !in_flight.empty()) {
+    bool rdma_this_burst = false;
     // Admit work in list order while the head chunk's lane has window room.
     while (failure.empty() && next < chunks.size() &&
            lane_free[next % lanes] > 0) {
@@ -112,59 +171,35 @@ sim::SubTask<> PipelinedTransfer::run(std::vector<TransferChunk> chunks) {
         for (const auto& m : c.members) {
           wr.remote_sges.push_back(rdma::RemoteSge{m.rkey, m.remote_addr, m.len});
         }
-        qps_[i % lanes]->post(std::move(wr));
+        rdma_this_burst = true;
+        if (config_.batch_doorbells) {
+          lane_batch[i % lanes].push_back(std::move(wr));
+        } else {
+          qps_[i % lanes]->post(std::move(wr));
+          ++stats_.doorbells;
+        }
       }
     }
+    // Flush the burst: one chained post — one doorbell — per lane touched.
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (lane_batch[l].empty()) continue;
+      qps_[l]->post(std::span<const rdma::WorkRequest>{lane_batch[l]});
+      ++stats_.doorbells;
+      lane_batch[l].clear();
+    }
+    if (rdma_this_burst) ++stats_.admission_windows;
     // After a failure everything already posted must still drain (RC
     // ordering: in-flight WQEs cannot be recalled).
     if (in_flight.empty()) break;
 
-    rdma::WorkCompletion wc = co_await cq_.wait();
-    const auto it = in_flight.find(wc.wr_id);
-    PORTUS_CHECK(it != in_flight.end(), "foreign completion drained by pipelined transfer");
-    const std::size_t idx = it->second;
-    in_flight.erase(it);
-    ++lane_free[idx % lanes];
-    account(-1);
-
-    const TransferChunk& c = chunks[idx];
-    if (wc.status != rdma::WcStatus::kSuccess) {
-      if (failure.empty()) {
-        failure = strf("{} failed on chunk of tensor {}: {}", to_string(wc.opcode),
-                       c.tensor_index, to_string(wc.status));
-      }
-      continue;
-    }
-    if (c.collect_crc) {
-      // CRC before the persist: same bytes either way (persist only changes
-      // durability state), but the read models the inline checksum landing
-      // while the line is still cache-hot.
-      PORTUS_CHECK(device_ != nullptr, "collect_crc chunk with no PMEM binding");
-      const Bytes at = c.kind == TransferChunk::Kind::kLocalCopy ? c.dst_offset
-                                                                 : c.persist_offset;
-      if (c.members.empty()) {
-        chunk_crcs_.push_back(ChunkCrc{.tensor_index = c.tensor_index,
-                                       .tensor_offset = c.tensor_offset,
-                                       .len = c.len,
-                                       .crc = device_->crc(at, c.len)});
-      } else {
-        // Split the landed extent back into per-tensor CRC records: each
-        // member is a whole tensor (offset 0), so its record IS its final
-        // per-tensor CRC — no combine step needed for coalesced members.
-        Bytes off = 0;
-        for (const auto& m : c.members) {
-          chunk_crcs_.push_back(ChunkCrc{.tensor_index = m.tensor_index,
-                                         .tensor_offset = 0,
-                                         .len = m.len,
-                                         .crc = device_->crc(at + off, m.len)});
-          off += m.len;
-        }
-      }
-    }
-    if (c.persist_after) {
-      PORTUS_CHECK(device_ != nullptr, "persist_after chunk with no PMEM binding");
-      device_->persist(c.persist_offset, c.len);
-      stats_.bytes_persisted += c.len;
+    process(co_await cq_.wait());
+    // Soak up everything else already completed before re-admitting, so
+    // the next burst refills whole windows instead of trickling one slot
+    // at a time (and its doorbell batches stay wide).
+    while (!in_flight.empty()) {
+      const auto extra = cq_.poll();
+      if (!extra.has_value()) break;
+      process(*extra);
     }
   }
   account(0);  // close the occupancy integral at the final timestamp

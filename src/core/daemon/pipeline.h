@@ -95,6 +95,11 @@ class PipelinedTransfer {
  public:
   struct Config {
     int window = 1;  // outstanding chunks admitted per QP lane
+    // Accumulate each admission burst's WRs per lane and flush them as ONE
+    // chained post (one doorbell per lane per burst) instead of ringing
+    // per extent. At window=1 a burst is a single WR either way, so serial
+    // timings are unchanged.
+    bool batch_doorbells = true;
   };
 
   struct Stats {
@@ -105,6 +110,9 @@ class PipelinedTransfer {
     std::uint64_t wrs_posted = 0;        // RDMA work requests (a gather extent = 1)
     std::uint64_t sges_posted = 0;       // remote SGEs across those WRs
     std::uint64_t extents_coalesced = 0; // chunks that fused > 1 tensor
+    // --- doorbell batching observability ---
+    std::uint64_t doorbells = 0;         // post() calls (a chained batch = 1)
+    std::uint64_t admission_windows = 0; // admission bursts that posted RDMA work
     Bytes rdma_bytes = 0;                // subset of `bytes` that crossed the NIC
     Bytes bytes = 0;
     Bytes bytes_persisted = 0;
@@ -121,6 +129,13 @@ class PipelinedTransfer {
     double bytes_per_wr() const {
       return wrs_posted > 0 ? static_cast<double>(rdma_bytes) / static_cast<double>(wrs_posted)
                             : 0.0;
+    }
+    // Mean doorbells rung per admission burst; with batching on this
+    // converges to the lane count (one chained post per lane per window).
+    double doorbells_per_window() const {
+      return admission_windows > 0
+                 ? static_cast<double>(doorbells) / static_cast<double>(admission_windows)
+                 : 0.0;
     }
   };
 

@@ -66,12 +66,26 @@ std::string Portusctl::render_stats() {
               to_seconds(s.mean_queue_delay()) * 1e6);
   out += strf("{:<28}{:.1f} us\n", "max queue delay",
               to_seconds(s.queue_delay_max) * 1e6);
+  out += strf("{:<28}{}\n", "doorbells rung", s.doorbells);
+  out += strf("{:<28}{:.2f}\n", "doorbells per window", s.doorbells_per_window());
+  out += strf("{:<28}{:.2f}\n", "wrs per doorbell", s.wrs_per_doorbell());
+  out += "--- allocator shards ---\n";
+  for (const auto& sh : daemon_.allocator().shard_stats()) {
+    out += strf("shard {:<3} {:>10} live {:>10} free {:>10} rsvd  "
+                "{:>4}/{:<4} entries  {} allocs {} frees {} refills {} steals\n",
+                sh.shard, format_bytes(sh.live), format_bytes(sh.free_listed),
+                format_bytes(sh.reserved), sh.entries, sh.capacity, sh.allocs,
+                sh.frees, sh.refills, sh.steals);
+  }
   return out;
 }
 
 std::string Portusctl::render_fsck(const Fsck::Report& r) {
   std::string out = strf("--- fsck ({}) ---\n", r.repaired ? "repair" : "verify-only");
   out += strf("{:<28}{}\n", "models scanned", r.models_scanned);
+  out += strf("{:<28}{} shards, header {}\n", "alloc table",
+              r.shard_tables, r.alloc_header_valid ? "ok" : "INVALID");
+  out += strf("{:<28}{}\n", "torn alloc entries", r.torn_entries);
   out += strf("{:<28}{}\n", "torn records", r.torn_records);
   out += strf("{:<28}{}\n", "ACTIVE slots demoted", r.active_demoted);
   out += strf("{:<28}{}\n", "corrupt slots demoted", r.corrupt_demoted);

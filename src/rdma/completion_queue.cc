@@ -1,5 +1,7 @@
 #include "rdma/completion_queue.h"
 
+#include "common/error.h"
+
 namespace portus::rdma {
 
 const char* to_string(WcOpcode op) {
@@ -23,19 +25,26 @@ const char* to_string(WcStatus status) {
   return "?";
 }
 
+WorkCompletion CompletionQueue::take_one() {
+  auto wc = inbox_.try_pop();
+  PORTUS_CHECK(wc.has_value(), "CQ ready token without a delivered completion");
+  return std::move(*wc);
+}
+
 std::optional<WorkCompletion> CompletionQueue::poll() {
   if (!stash_.empty()) {
     auto wc = std::move(stash_.front());
     stash_.pop_front();
     return wc;
   }
-  if (chan_.empty()) return std::nullopt;
+  if (ready_.empty()) return std::nullopt;
   // Channel has no non-coroutine pop; emulate via immediate recv awaitable.
-  // Since the queue is non-empty, await_ready() is true and the value is
-  // available synchronously.
-  auto aw = chan_.recv();
+  // Since the queue is non-empty, await_ready() is true and the token is
+  // consumed synchronously.
+  auto aw = ready_.recv();
   if (!aw.await_ready()) return std::nullopt;
-  return aw.await_resume();
+  (void)aw.await_resume();
+  return take_one();
 }
 
 sim::SubTask<WorkCompletion> CompletionQueue::wait() {
@@ -44,8 +53,8 @@ sim::SubTask<WorkCompletion> CompletionQueue::wait() {
     stash_.pop_front();
     co_return wc;
   }
-  auto wc = co_await chan_.recv();
-  co_return wc;
+  co_await ready_.recv();
+  co_return take_one();
 }
 
 sim::SubTask<WorkCompletion> CompletionQueue::wait_for(std::uint64_t wr_id) {
@@ -56,7 +65,8 @@ sim::SubTask<WorkCompletion> CompletionQueue::wait_for(std::uint64_t wr_id) {
       stash_.erase(it);
       co_return wc;
     }
-    auto wc = co_await chan_.recv();
+    co_await ready_.recv();
+    auto wc = take_one();
     if (wc.wr_id == wr_id) co_return wc;
     stash_.push_back(std::move(wc));
   }

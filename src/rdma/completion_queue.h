@@ -3,6 +3,13 @@
 // Mirrors ibv_cq usage: non-blocking poll() plus an awaitable wait() for
 // coroutine consumers (the simulated equivalent of a completion channel).
 //
+// Delivery is lock-free: executors push finished completions into an MPSC
+// inbox (one atomic exchange, no lock shared with the consumer) and then
+// release a ready token through the sim channel that parks/wakes the
+// consumer coroutine. Reaping a completion therefore never contends with
+// deliveries still in flight — the paper's requirement that CQ polling
+// stay off the daemon's lock.
+//
 // Pipelined consumers that keep several work requests in flight on one CQ
 // (possibly across several QPs bound to it) use wait_for(wr_id): any
 // completion that arrives for a *different* wr_id is stashed and handed out
@@ -15,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "common/mpsc_queue.h"
 #include "common/units.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
@@ -42,7 +50,7 @@ struct WorkCompletion {
 
 class CompletionQueue {
  public:
-  explicit CompletionQueue(sim::Engine& engine) : chan_{engine} {}
+  explicit CompletionQueue(sim::Engine& engine) : ready_{engine} {}
 
   // Non-blocking: pops one completion if present (stashed entries first).
   std::optional<WorkCompletion> poll();
@@ -57,13 +65,22 @@ class CompletionQueue {
   // subsequent waiters rather than discarded.
   sim::SubTask<WorkCompletion> wait_for(std::uint64_t wr_id);
 
-  // NIC-side delivery.
-  void deliver(WorkCompletion wc) { chan_.push(std::move(wc)); }
+  // NIC-side delivery: lock-free inbox push, then a ready token. The push
+  // fully completes before the token is visible, so a consumer woken by
+  // the token always finds its completion.
+  void deliver(WorkCompletion wc) {
+    inbox_.push(std::move(wc));
+    ready_.push(true);
+  }
 
-  std::size_t depth() const { return chan_.size() + stash_.size(); }
+  std::size_t depth() const { return ready_.size() + stash_.size(); }
 
  private:
-  sim::Channel<WorkCompletion> chan_;
+  // Pops the inbox entry matching a consumed ready token (must exist).
+  WorkCompletion take_one();
+
+  MpscQueue<WorkCompletion> inbox_;   // lock-free delivery path
+  sim::Channel<bool> ready_;          // one token per delivered completion
   std::deque<WorkCompletion> stash_;  // out-of-order arrivals, FIFO
 };
 

@@ -57,9 +57,13 @@ sim::SubTask<WorkCompletion> Fabric::execute_one_sided(QueuePair& initiator, Wor
   QueuePair* peer = initiator.peer();
   PORTUS_CHECK(peer != nullptr, "one-sided op on unconnected QP");
 
-  // WQE processing + request propagation.
+  // WQE processing + request propagation. A WR that rode an earlier WR's
+  // doorbell (chained ibv_post_send list) skips the MMIO ring + WQE fetch
+  // baked into the per-op latency; a lone post is charged exactly as before.
   const auto& spec = initiator.nic().spec();
-  co_await engine_.sleep((is_read ? spec.read_latency : spec.write_latency) + switch_latency_);
+  Duration setup = (is_read ? spec.read_latency : spec.write_latency) + switch_latency_;
+  if (wr.chained) setup -= std::min(setup, spec.doorbell_latency);
+  co_await engine_.sleep(setup);
 
   // Local SGE validation.
   const MemoryRegion* local = initiator.pd().find_by_lkey(wr.lkey);

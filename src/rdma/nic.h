@@ -24,6 +24,13 @@ struct NicSpec {
   Duration read_latency = std::chrono::microseconds{4};    // one-sided READ setup+RTT
   Duration write_latency = std::chrono::nanoseconds{3200}; // one-sided WRITE
   Duration send_latency = std::chrono::microseconds{5};    // two-sided (CPU on both ends)
+  // Doorbell economics: the per-WR setup above includes one MMIO doorbell
+  // write + PCIe WQE fetch round trip (~1-2 us of the READ budget on Gen3).
+  // A WR posted as part of a chained ibv_post_send list (every list entry
+  // after the first) skips that — the NIC DMAs the whole WQE chain after
+  // one ring — so chained WRs shave this much off their per-op latency.
+  // Single-WR posts are charged exactly as before.
+  Duration doorbell_latency = std::chrono::nanoseconds{1800};
   int max_sges = 30;  // gather entries per WQE (mlx5-class max_send_sge)
 
   static NicSpec connectx5_100g() { return NicSpec{}; }

@@ -23,11 +23,30 @@ void QueuePair::post(WorkRequest wr) {
   PORTUS_CHECK_ARG(wr.remote_sges.size() <=
                        static_cast<std::size_t>(nic_.spec().max_sges),
                    "gather list exceeds the NIC's max_sges");
+  wr.chained = false;  // a lone post always rings its own doorbell
+  ++doorbells_;
   sq_.push(std::move(wr));
 }
 
 void QueuePair::post(std::span<const WorkRequest> wrs) {
-  for (const auto& wr : wrs) post(wr);
+  if (wrs.empty()) return;
+  ++doorbells_;
+  // The doorbell's MMIO ring + PCIe WQE fetch only gates a WQE when the NIC
+  // has drained this QP's send queue and gone idle. A chain posted while
+  // earlier WQEs are still queued or in flight rides the ongoing WQE
+  // prefetch stream, so even its head skips the fetch round trip.
+  const bool busy = !sq_.empty() || wqe_slots_.available() < max_outstanding_;
+  bool first = true;
+  for (const auto& wr : wrs) {
+    PORTUS_CHECK_ARG(connected(), "post on unconnected QP");
+    PORTUS_CHECK_ARG(wr.remote_sges.size() <=
+                         static_cast<std::size_t>(nic_.spec().max_sges),
+                     "gather list exceeds the NIC's max_sges");
+    WorkRequest copy = wr;
+    copy.chained = !first || busy;  // list entries after the head ride its doorbell
+    first = false;
+    sq_.push(std::move(copy));
+  }
 }
 
 void QueuePair::post_recv(RecvWr wr) {

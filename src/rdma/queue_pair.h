@@ -53,6 +53,11 @@ struct WorkRequest {
   std::uint32_t rkey = 0;
   std::uint64_t remote_addr = 0;
   std::vector<RemoteSge> remote_sges;
+  // Set by the chained post() overload for every list entry after the
+  // first: this WR rode an earlier WR's doorbell, so the fabric discounts
+  // NicSpec::doorbell_latency from its per-op setup cost. Callers never
+  // set it directly.
+  bool chained = false;
 };
 
 struct RecvWr {
@@ -75,11 +80,16 @@ class QueuePair {
   CompletionQueue& cq() { return cq_; }
   int max_outstanding() const { return max_outstanding_; }
 
-  // Post to the send queue; the completion lands in cq() later.
+  // Post to the send queue; the completion lands in cq() later. One
+  // doorbell per call.
   void post(WorkRequest wr);
   // Doorbell batching: post a whole list in one call (ibv_post_send with a
-  // chained wr list). Equivalent to posting each in order.
+  // chained wr list). Executes each in order, but only the head WR pays
+  // the doorbell cost — entries after it are marked chained and the fabric
+  // discounts NicSpec::doorbell_latency from their setup latency.
   void post(std::span<const WorkRequest> wrs);
+  // Doorbells rung on this QP (each post() call = 1, batched or not).
+  std::uint64_t doorbells() const { return doorbells_; }
   void post_recv(RecvWr wr);
 
   // Convenience: post and await the matching completion, keyed by wr_id —
@@ -111,6 +121,7 @@ class QueuePair {
   int max_outstanding_;
   QueuePair* peer_ = nullptr;
   std::uint64_t next_sync_wr_id_ = 0x5E000000ull;
+  std::uint64_t doorbells_ = 0;
 
   sim::Channel<WorkRequest> sq_;
   sim::SimSemaphore wqe_slots_;  // bounds in-flight WQEs to max_outstanding

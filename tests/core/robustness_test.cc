@@ -33,8 +33,10 @@ TEST(RobustnessTest, AllocatorRecoverySkipsTornEntriesAndSweepReclaims) {
     alloc.alloc(100_KiB);
     b = alloc.alloc(200_KiB);
     alloc.alloc(50_KiB);
-    // Scramble the middle entry as a torn write would leave it.
-    device.write(config.table_offset + PmemAllocator::kEntrySize, std::vector<std::byte>(8));
+    // Scramble the middle entry as a torn write would leave it (entry slots
+    // start after the sharded-table header).
+    device.write(config.table_offset + PmemAllocator::kHeaderSize + PmemAllocator::kEntrySize,
+                 std::vector<std::byte>(8));
     device.persist_all();
   }
   PmemAllocator recovered{device, config};

@@ -74,7 +74,11 @@ std::uint32_t crc_of_crcs(const std::vector<std::uint32_t>& crcs) {
 // daemon over it, and check every invariant. `golden` maps every epoch the
 // workload ever attempted to the aggregate CRC of the exact model state
 // that was checkpointed as that epoch.
-void verify_point(const Recording& rec, const sim::CrashPoint& p) {
+// `cfg` must match the recording daemon's allocator geometry: a daemon
+// constructed over a foreign-geometry image writes a fresh AllocTable
+// header, which would wipe the very sharded table the walk is probing.
+void verify_point(const Recording& rec, const sim::CrashPoint& p,
+                  const core::PortusDaemon::Config& cfg = {}) {
   SCOPED_TRACE(::testing::Message() << "crash point #" << p.ordinal << " (fence "
                                     << p.persist_seq << ", "
                                     << (p.after_persist ? "after" : "before") << ")");
@@ -83,7 +87,7 @@ void verify_point(const Recording& rec, const sim::CrashPoint& p) {
                    .add_node({.name = "server", .pmem_devdax = kDevdax})
                    .build(eng);
   core::QpRendezvous rendezvous;
-  core::PortusDaemon daemon{*world, world->node("server"), rendezvous};
+  core::PortusDaemon daemon{*world, world->node("server"), rendezvous, cfg};
   auto& device = world->node("server").devdax().device();
   sim::CrashpointRecorder::materialize(p, device, /*seed=*/0xC0FFEEull + p.ordinal);
 
@@ -326,7 +330,93 @@ TEST(CrashpointTest, CoalescedCheckpointBoundariesSurvivePowerCut) {
   }
 }
 
-// --- workload 3: cluster-era shard registration ------------------------------
+// --- workload 3: sharded allocator, mid-refill power cuts ---------------------
+
+// The sharded allocator persists per-shard AllocTable regions and touches
+// the global bump pointer only on reservation refills. A power cut can land
+// between the bump advance, the old reservation tail's FREE publication and
+// the first entry persisted out of the new reservation — every such fence
+// must leave an image where recover() validates the sharded header, no LIVE
+// extents overlap, and fsck repair re-adopts any abandoned reservation tail
+// as a heap gap (verify_point's post-repair accounting proves that every
+// byte below the bump pointer is tracked again).
+core::PortusDaemon::Config sharded_cfg() {
+  core::PortusDaemon::Config cfg;
+  cfg.chunk_bytes = 16_KiB;
+  cfg.pipeline_window = 4;
+  cfg.stripes = 2;
+  cfg.shards = 4;
+  // Small on purpose: slot-layout allocations overrun one reservation, so
+  // the recorded run crosses the refill path many times.
+  cfg.alloc_refill_bytes = 32_KiB;
+  return cfg;
+}
+
+Recording record_sharded_refill_workload() {
+  Recording rec;
+  sim::Engine eng;
+  auto world = net::Cluster::Builder{}
+                   .add_node({.name = "client", .gpu_count = 1})
+                   .add_node({.name = "server", .pmem_devdax = kDevdax})
+                   .build(eng);
+  core::QpRendezvous rendezvous;
+  core::PortusDaemon daemon{*world, world->node("server"), rendezvous, sharded_cfg()};
+  daemon.start();
+  auto& device = daemon.device();
+
+  // Small-tensor blocks plus a chunked embedding: the double-buffered slots
+  // and CRC blocks churn allocs and frees across the arenas.
+  auto& client_node = world->node("client");
+  dnn::Model model{"gpt-bits", client_node.gpu(0)};
+  for (int b = 0; b < 6; ++b) {
+    const auto tag = std::to_string(b);
+    model.add_tensor(dnn::TensorMeta{.name = "blk" + tag + ".w", .shape = {512}}, false);
+    model.add_tensor(dnn::TensorMeta{.name = "blk" + tag + ".proj", .shape = {256}}, false);
+    model.add_tensor(dnn::TensorMeta{.name = "blk" + tag + ".bias", .shape = {64}}, false);
+  }
+  model.add_tensor(dnn::TensorMeta{.name = "embed", .shape = {32, 256}}, false);
+  model.randomize_weights(0x54A6D);
+  core::PortusClient client{*world, client_node, client_node.gpu(0), rendezvous,
+                            "portusd", /*stripes=*/2};
+
+  sim::CrashpointRecorder recorder{device};
+  eng.spawn([](core::PortusClient& c, dnn::Model& m, pmem::PmemDevice& dev,
+               Recording& out, core::PortusDaemon& d) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(m);
+    for (std::uint64_t k = 1; k <= 4; ++k) {
+      m.mutate_weights(k);
+      const auto golden = m.weights_crc();
+      const auto epoch = co_await c.checkpoint(m, k);
+      out.golden[epoch] = golden;
+      out.acks.push_back(Ack{dev.persist_seq(), epoch});
+      if (c.stats().last_payload_crc != golden) throw Error("payload CRC mismatch");
+    }
+    // The walk is only meaningful if the recorded fences actually straddle
+    // reservation refills.
+    std::uint64_t refills = 0;
+    for (const auto& sh : d.allocator().shard_stats()) refills += sh.refills;
+    if (refills == 0) throw Error("refill path never exercised");
+  }(client, model, device, rec, daemon));
+  eng.run();
+  recorder.detach();
+  rec.points = recorder.points();
+  eng.shutdown();
+  return rec;
+}
+
+TEST(CrashpointTest, MidRefillBoundariesLeaveShardTablesFsckClean) {
+  const auto rec = record_sharded_refill_workload();
+  EXPECT_GE(rec.points.size(), 40u);
+  ASSERT_EQ(rec.golden.size(), 4u);
+
+  for (const auto& p : rec.points) {
+    verify_point(rec, p, sharded_cfg());
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
+// --- workload 4: cluster-era shard registration ------------------------------
 
 Recording record_shard_workload(std::vector<std::byte>& manifest_wire) {
   Recording rec;
