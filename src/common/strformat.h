@@ -16,6 +16,7 @@
 #include <string>
 #include <string_view>
 #include <type_traits>
+#include <vector>
 
 #include "common/error.h"
 
@@ -154,6 +155,39 @@ void append_formatted(std::string& out, std::string_view /*spec*/, const T& v) {
 }
 
 }  // namespace detail
+
+// Render pre-formatted cells as a table whose column widths fit the widest
+// cell in each column. Fixed "{:>8}"-style widths overflow (and shear every
+// column to their right) once a counter passes the width — at fleet scale
+// doorbell/WR counters routinely do — so status tables size themselves from
+// the data instead. `align[i]` is '<' or '>' per column; short rows are
+// allowed (trailing cells absent), columns are separated by two spaces.
+inline std::string format_table(const std::vector<std::vector<std::string>>& rows,
+                                std::string_view align) {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  PORTUS_CHECK_ARG(align.size() >= widths.size(),
+                   "format_table: one align char per column required");
+  std::string out;
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.append(2, ' ');
+      // The last cell of a row needs no trailing pad when left-aligned.
+      if (align[c] == '<' && c + 1 == row.size()) {
+        out.append(row[c]);
+      } else {
+        detail::pad_into(out, row[c], align[c], widths[c]);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
 
 template <typename... Args>
 std::string strf(std::string_view fmt, const Args&... args) {

@@ -25,4 +25,12 @@ std::string format_bandwidth(Bandwidth bw) {
   return strf("{:.2f}GB/s", bw.gb_per_second());
 }
 
+std::string format_count(std::uint64_t n) {
+  const auto v = static_cast<double>(n);
+  if (n < 10'000) return strf("{}", n);
+  if (v < 1e6) return strf("{:.1f}k", v / 1e3);
+  if (v < 1e9) return strf("{:.2f}M", v / 1e6);
+  return strf("{:.2f}G", v / 1e9);
+}
+
 }  // namespace portus

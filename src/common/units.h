@@ -85,5 +85,8 @@ class Bandwidth {
 std::string format_bytes(Bytes n);
 std::string format_duration(Duration d);
 std::string format_bandwidth(Bandwidth bw);
+// Humanize a plain counter: "8421", "12.6k", "3.40M", "1.25G". Keeps
+// fleet-scale counters inside fixed-width table columns.
+std::string format_count(std::uint64_t n);
 
 }  // namespace portus

@@ -1,5 +1,6 @@
 #include "core/client.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/logging.h"
@@ -76,6 +77,64 @@ sim::SubTask<std::vector<std::byte>> PortusClient::roundtrip(std::vector<std::by
   }
 }
 
+sim::SubTask<> PortusClient::backoff(int attempt, std::uint64_t retry_after_ns) {
+  auto ns = retry_.base_backoff.count();
+  for (int i = 0; i < attempt && ns < retry_.max_backoff.count(); ++i) ns *= 2;
+  ns = std::min(ns, retry_.max_backoff.count());
+  // Jitter spreads a fleet of clients bounced by the same full queue so
+  // they do not re-arrive in lockstep; the daemon's retry_after hint is a
+  // floor, never a cap.
+  ns = static_cast<Duration::rep>(static_cast<double>(ns) * jitter_.uniform_real(0.5, 1.5));
+  ns = std::max(ns, static_cast<Duration::rep>(retry_after_ns));
+  const Duration wait{ns};
+  co_await cluster_.engine().sleep(wait);
+}
+
+sim::SubTask<std::vector<std::byte>> PortusClient::retrying_roundtrip(
+    std::vector<std::byte> req_wire) {
+  for (int attempt = 0;; ++attempt) {
+    auto wire = req_wire;  // keep the original; re-sends ship it verbatim
+    std::vector<std::byte> reply;
+    bool got_reply = false;
+    try {
+      reply = co_await roundtrip(std::move(wire));
+      got_reply = true;
+    } catch (const Disconnected&) {
+      if (!retry_.retry_timeouts || attempt >= retry_.max_retries) throw;
+    }
+
+    if (got_reply) {
+      bool backpressured = false;
+      std::uint64_t hint_ns = 0;
+      const auto type = decode_type(reply);
+      if (type == MsgType::kCheckpointDone) {
+        const auto done = decode_checkpoint_done(reply);
+        backpressured = done.backpressure;
+        hint_ns = done.retry_after_ns;
+      } else if (type == MsgType::kRestoreDone) {
+        const auto done = decode_restore_done(reply);
+        backpressured = done.backpressure;
+        hint_ns = done.retry_after_ns;
+      }
+      // Out of retries: hand the Backpressure answer to the caller, whose
+      // ok-check turns it into a hard failure.
+      if (!backpressured || attempt >= retry_.max_retries) co_return reply;
+      ++stats_.backpressure;
+      ++stats_.retries;
+      co_await backoff(attempt, hint_ns);
+      continue;
+    }
+
+    // Timed out: the watchdog closed our socket; the daemon-side session
+    // survives a reconnect, so a re-sent request needs no re-registration.
+    ++stats_.retries;
+    co_await backoff(attempt, 0);
+    auto socket = co_await cluster_.endpoint(endpoint_).connect();
+    socket_ = std::move(socket);
+    ++stats_.reconnects;
+  }
+}
+
 sim::SubTask<> PortusClient::register_model(dnn::Model& model) {
   ShardBinding all;
   all.reg_name = model.name();
@@ -100,6 +159,10 @@ sim::SubTask<> PortusClient::register_shard(dnn::Model& model, ShardBinding bind
   msg.replica_count = binding.replica_count;
   msg.placement_epoch = binding.placement_epoch;
   msg.manifest = std::move(binding.manifest);
+  msg.tenant_id = tenant_.id;
+  msg.priority = tenant_.priority;
+  msg.requested_capacity = tenant_.requested_capacity;
+  msg.requested_rate = tenant_.requested_rate;
 
   // Pin the bound tensors through PeerMem and register them with the RNIC.
   // The remote side needs READ (checkpoint pull) and WRITE (restore push).
@@ -142,6 +205,9 @@ sim::SubTask<> PortusClient::register_shard(dnn::Model& model, ShardBinding bind
   PORTUS_CHECK(ack.ok, "registration rejected: " + ack.error);
   stats_.negotiated_stripes = ack.stripes;
   stats_.negotiated_max_sges = ack.max_sges;
+  stats_.granted_capacity = ack.granted_capacity;
+  stats_.granted_rate = ack.granted_rate;
+  stats_.granted_wr_slots = ack.granted_wr_slots;
   stats_.registration_time = cluster_.engine().now() - t0;
   PLOG_DEBUG("portus-client", "registered {} ({} tensors) at {}", reg_name, tensor_count,
              endpoint_);
@@ -161,7 +227,7 @@ sim::SubTask<std::uint64_t> PortusClient::checkpoint_named(std::string reg_name,
   CheckpointReqMsg req{
       .model_name = std::move(reg_name), .iteration = iteration, .dirty_indices = {}};
   auto wire = encode(req);
-  const auto reply = co_await roundtrip(std::move(wire));
+  const auto reply = co_await retrying_roundtrip(std::move(wire));
   const auto done = decode_checkpoint_done(reply);
   PORTUS_CHECK(done.ok, "checkpoint failed: " + done.error);
   ++stats_.checkpoints;
@@ -177,7 +243,7 @@ sim::SubTask<std::uint64_t> PortusClient::checkpoint_incremental(
                        .iteration = iteration,
                        .dirty_indices = std::move(dirty_indices)};
   auto wire = encode(req);
-  const auto reply = co_await roundtrip(std::move(wire));
+  const auto reply = co_await retrying_roundtrip(std::move(wire));
   const auto done = decode_checkpoint_done(reply);
   PORTUS_CHECK(done.ok, "checkpoint failed: " + done.error);
   ++stats_.checkpoints;
@@ -195,7 +261,7 @@ sim::SubTask<std::uint64_t> PortusClient::restore_named(std::string reg_name,
   const Time t0 = cluster_.engine().now();
   RestoreReqMsg req{.model_name = std::move(reg_name), .required_epoch = required_epoch};
   auto wire = encode(req);
-  const auto reply = co_await roundtrip(std::move(wire));
+  const auto reply = co_await retrying_roundtrip(std::move(wire));
   const auto done = decode_restore_done(reply);
   PORTUS_CHECK(done.ok, "restore failed: " + done.error);
   ++stats_.restores;

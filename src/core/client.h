@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "common/rng.h"
 #include "core/protocol.h"
 #include "dnn/model.h"
 #include "gpu/peer_mem.h"
@@ -42,6 +43,40 @@ class PortusClient {
     // checkpoint/restore (0 for phantom models). Comparable against
     // dnn::Model::weights_crc() for end-to-end integrity assertions.
     std::uint32_t last_payload_crc = 0;
+    // --- retry/backoff observability (RetryPolicy) ---
+    std::uint64_t retries = 0;       // re-sent ops (backpressure or timeout)
+    std::uint64_t backpressure = 0;  // Backpressure answers absorbed
+    std::uint64_t reconnects = 0;    // sockets re-dialed after a timeout
+    // Quota the daemon granted at the last registration (protocol v5;
+    // all-zero when the daemon runs untenanted).
+    Bytes granted_capacity = 0;
+    Bytes granted_rate = 0;
+    std::uint32_t granted_wr_slots = 0;
+  };
+
+  // Backoff discipline for retryable failures. Backpressure answers (the
+  // daemon's admission queue was full) retry up to max_retries with capped
+  // exponential backoff and uniform [0.5, 1.5) jitter, floored at the
+  // daemon's retry_after hint. Op-timeouts additionally retry — after
+  // re-dialing the daemon — when retry_timeouts is set; leave it off where
+  // a dead endpoint should surface immediately (cluster lane rerouting).
+  struct RetryPolicy {
+    int max_retries = 0;                // 0 = fail fast (classic behavior)
+    Duration base_backoff{500'000};     // 0.5 ms
+    Duration max_backoff{50'000'000};   // 50 ms cap
+    bool retry_timeouts = false;
+    std::uint64_t jitter_seed = 0x9E3779B97F4A7C15ull;
+  };
+
+  // Identity + quota request shipped with every registration (protocol
+  // v5). Empty id = the daemon's "default" tenant; priority 0 = high,
+  // 1 = normal, 2 = batch; zero capacity/rate = "grant me the policy
+  // default".
+  struct TenantSpec {
+    std::string id;
+    std::uint8_t priority = 1;
+    Bytes requested_capacity = 0;
+    Bytes requested_rate = 0;
   };
 
   // One shard copy's registration: which tensors go to this daemon and
@@ -105,6 +140,13 @@ class PortusClient {
   // hung (not just crashed) daemons.
   void set_op_timeout(Duration d) { op_timeout_ = d; }
 
+  void set_retry_policy(RetryPolicy p) {
+    retry_ = p;
+    jitter_ = Rng{p.jitter_seed};
+  }
+  void set_tenant(TenantSpec t) { tenant_ = std::move(t); }
+  const TenantSpec& tenant() const { return tenant_; }
+
   const Stats& stats() const { return stats_; }
   bool connected() const { return socket_ != nullptr && !socket_->closed(); }
   const std::string& endpoint() const { return endpoint_; }
@@ -119,6 +161,12 @@ class PortusClient {
 
   sim::SubTask<std::vector<std::byte>> roundtrip(std::vector<std::byte> request);
 
+  // Retry loop around one checkpoint/restore roundtrip: absorbs
+  // Backpressure answers and (optionally) op-timeouts per retry_, backing
+  // off with jitter between attempts. `req_wire` is re-sent verbatim.
+  sim::SubTask<std::vector<std::byte>> retrying_roundtrip(std::vector<std::byte> req_wire);
+  sim::SubTask<> backoff(int attempt, std::uint64_t retry_after_ns);
+
   net::Cluster& cluster_;
   net::Node& node_;
   gpu::GpuDevice& gpu_;
@@ -132,6 +180,9 @@ class PortusClient {
   // Heap-held so the roundtrip scope guard stays valid even if the client
   // is destroyed while the coroutine is suspended (crash-mid-op tests).
   std::shared_ptr<bool> op_in_flight_ = std::make_shared<bool>(false);
+  RetryPolicy retry_;
+  TenantSpec tenant_;
+  Rng jitter_{0x9E3779B97F4A7C15ull};
   Stats stats_;
 };
 

@@ -28,6 +28,8 @@ ClusterClient::ClusterClient(net::Cluster& cluster, net::Node& client_node,
     lane.client = std::make_unique<PortusClient>(cluster_, node_, gpu_, rendezvous_, ep,
                                                  config_.stripes);
     lane.client->set_op_timeout(config_.op_timeout);
+    lane.client->set_tenant(config_.tenant);
+    lane.client->set_retry_policy(config_.retry);
     lanes_.push_back(std::move(lane));
   }
 }

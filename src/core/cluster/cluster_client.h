@@ -38,6 +38,11 @@ class ClusterClient {
     int stripes = 1;                     // datapath QPs per registration
     std::uint64_t placement_epoch = 0;   // bump to recompute the ring rotation
     Duration op_timeout{0};              // 0 = never time out (crash-only detection)
+    // Tenancy identity + retry discipline, applied to every lane client.
+    // Keep retry.retry_timeouts off here unless you mean it: a retried
+    // timeout delays the lane-down verdict the degraded paths key off.
+    PortusClient::TenantSpec tenant;
+    PortusClient::RetryPolicy retry;
   };
 
   struct CheckpointResult {

@@ -47,27 +47,30 @@ ClusterCtl::DaemonRow ClusterCtl::inspect(PortusDaemon& daemon) {
 
 std::string ClusterCtl::render_status(std::span<PortusDaemon* const> daemons,
                                       const ClusterClient* client) {
-  std::string out =
-      strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}{:>12}{:>10}{:>14}\n",
-           "DAEMON", "STATE", "SHARDS", "MODELS", "BYTES", "REGS", "CKPTS", "RSTRS",
-           "FAILED", "PIPELINE", "COALESCE", "DOORBELL", "ARENAS");
+  // Column widths fit the widest cell (format_table): fixed widths sheared
+  // the whole table once a fleet-scale counter outgrew its column.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"DAEMON", "STATE", "SHARDS", "MODELS", "BYTES", "REGS", "CKPTS",
+                  "RSTRS", "FAILED", "PIPELINE", "COALESCE", "DOORBELL", "ARENAS"});
   std::size_t copies = 0;
   Bytes bytes = 0;
   for (auto* d : daemons) {
     const auto row = inspect(*d);
     copies += row.shard_copies;
     bytes += row.stored_bytes;
-    out += strf("{:<12}{:<6}{:>7}{:>8}{:>12}{:>8}{:>8}{:>8}{:>8}{:>10}{:>12}{:>10}{:>14}\n",
-                row.endpoint, row.up ? "up" : "DOWN", row.shard_copies, row.models,
-                format_bytes(row.stored_bytes), row.registrations, row.checkpoints,
-                row.restores, row.failed_ops,
-                strf("{:.2f}/{}", row.mean_window, row.peak_window),
-                strf("{}/{}", row.extents_coalesced, row.wrs_posted),
-                strf("{:.2f}/w", row.doorbells_per_window),
-                // Allocator arenas: count, live bytes, reservation refills.
-                strf("{}x {} {}r", row.alloc_shards, format_bytes(row.alloc_live),
-                     row.alloc_refills));
+    rows.push_back({row.endpoint, row.up ? "up" : "DOWN", strf("{}", row.shard_copies),
+                    strf("{}", row.models), format_bytes(row.stored_bytes),
+                    format_count(row.registrations), format_count(row.checkpoints),
+                    format_count(row.restores), format_count(row.failed_ops),
+                    strf("{:.2f}/{}", row.mean_window, row.peak_window),
+                    strf("{}/{}", format_count(row.extents_coalesced),
+                         format_count(row.wrs_posted)),
+                    strf("{:.2f}/w", row.doorbells_per_window),
+                    // Allocator arenas: count, live bytes, reservation refills.
+                    strf("{}x {} {}r", row.alloc_shards, format_bytes(row.alloc_live),
+                         row.alloc_refills)});
   }
+  std::string out = format_table(rows, "<<>>>>>>>>>>>");
   out += strf("total: {} daemons, {} shard copies, {}\n", daemons.size(), copies,
               format_bytes(bytes));
   if (client != nullptr) {

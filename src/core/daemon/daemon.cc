@@ -38,6 +38,17 @@ PortusDaemon::PortusDaemon(net::Cluster& cluster, net::Node& storage_node,
                                      .shards = config_.shards,
                                      .refill_bytes = config_.alloc_refill_bytes});
   workers_ = std::make_unique<sim::SimSemaphore>(cluster.engine(), config_.workers);
+  if (config_.tenancy) {
+    tenants_ = std::make_unique<TenantRegistry>(
+        TenantRegistry::Defaults{.quota = config_.tenant_defaults});
+    admission_ = std::make_unique<AdmissionController>(
+        cluster.engine(),
+        AdmissionController::Config{
+            .max_inflight = config_.admission_inflight > 0 ? config_.admission_inflight
+                                                           : config_.workers,
+            .queue_depth = config_.admission_queue_depth,
+            .retry_after = config_.admission_retry_after});
+  }
 }
 
 PortusDaemon::~PortusDaemon() {
@@ -189,6 +200,18 @@ sim::SubTask<RegisterAckMsg> PortusDaemon::handle_register(RegisterModelMsg msg)
   co_await workers_->acquire();
   RegisterAckMsg ack;
   try {
+    // Tenancy: negotiate the quota grant and charge both slots' PMEM
+    // capacity BEFORE any layout happens, so an over-quota registration is
+    // refused without allocating a byte. The charge is the registered
+    // payload doubled (double-mapped slots); alignment padding rides free.
+    Tenant* tenant = nullptr;
+    if (tenants_ != nullptr) {
+      tenant = &tenants_->admit_tenant(
+          msg.tenant_id.empty() ? "default" : msg.tenant_id,
+          priority_from_wire(msg.priority), msg.requested_capacity, msg.requested_rate);
+      tenants_->charge(*tenant, msg.model_name, 2 * msg.total_bytes());
+    }
+
     ModelSession session;
     session.registration = msg;
 
@@ -250,6 +273,14 @@ sim::SubTask<RegisterAckMsg> PortusDaemon::handle_register(RegisterModelMsg msg)
     ack.ok = true;
     ack.stripes = static_cast<std::uint32_t>(stripes);
     ack.max_sges = session_max_sges;
+    if (tenant != nullptr) {
+      ack.granted_capacity = tenant->quota.capacity_bytes;
+      ack.granted_rate = tenant->quota.rate_bytes_per_sec;
+      ack.granted_wr_slots =
+          tenant->quota.wr_slots > 0
+              ? tenant->quota.wr_slots
+              : static_cast<std::uint32_t>(admission_->config().max_inflight);
+    }
     PLOG_DEBUG(kLog, "registered model {} ({} tensors, {} stripes)", msg.model_name,
                msg.tensors.size(), stripes);
   } catch (const Error& e) {
@@ -262,6 +293,33 @@ sim::SubTask<RegisterAckMsg> PortusDaemon::handle_register(RegisterModelMsg msg)
 }
 
 sim::SubTask<CheckpointDoneMsg> PortusDaemon::handle_checkpoint(CheckpointReqMsg msg) {
+  // Tenancy: a checkpoint must hold an admission ticket (strict priority +
+  // WFQ + pacing, bounded queue) before it may occupy a worker or post a
+  // WR. A full queue answers Backpressure — a cheap, retryable roundtrip —
+  // without ever touching the worker pool. Unregistered models fall through
+  // untenanted and fail the session lookup below like before. Restores are
+  // deliberately unthrottled: they are the recovery path.
+  AdmissionController::Ticket ticket;
+  if (admission_ != nullptr) {
+    const auto it = sessions_.find(msg.model_name);
+    Tenant* tenant = it != sessions_.end() ? tenants_->owner_of(msg.model_name) : nullptr;
+    if (tenant != nullptr) {
+      const Bytes op_bytes = it->second.registration.total_bytes();
+      try {
+        ticket = co_await admission_->admit(*tenant, op_bytes);
+      } catch (const Backpressure& e) {
+        ++stats_.backpressure_rejects;
+        CheckpointDoneMsg done;
+        done.model_name = msg.model_name;
+        done.ok = false;
+        done.backpressure = true;
+        done.retry_after_ns = static_cast<std::uint64_t>(config_.admission_retry_after.count());
+        done.error = e.what();
+        co_return done;
+      }
+    }
+  }
+
   co_await workers_->acquire();
   auto trace_span = config_.tracer != nullptr
                         ? config_.tracer->span("checkpoint " + msg.model_name, "portusd")

@@ -30,6 +30,7 @@
 #include "core/daemon/mindex.h"
 #include "core/daemon/model_table.h"
 #include "core/daemon/pipeline.h"
+#include "core/daemon/tenant.h"
 #include "core/protocol.h"
 #include "net/cluster.h"
 #include "pmem/devdax.h"
@@ -85,6 +86,19 @@ class PortusDaemon {
     // target named `endpoint`, so tests/benches can crash or hang it at a
     // chosen point in virtual time (sim/fault.h).
     sim::FaultInjector* faults = nullptr;
+    // --- multi-tenant admission control (core/daemon/tenant.h). Off by
+    // default: every untenanted workload runs the classic unthrottled
+    // datapath bit-for-bit. On, checkpoints acquire an admission ticket
+    // (strict priority + WFQ + token-bucket pacing, bounded queues with
+    // Backpressure rejections) before occupying a worker. ---
+    bool tenancy = false;
+    // Grant ceiling for tenants that request nothing / too much. All-zero =
+    // unlimited capacity, unpaced.
+    TenantQuota tenant_defaults;
+    // In-flight admission slots; 0 = match `workers`.
+    int admission_inflight = 0;
+    std::uint32_t admission_queue_depth = 64;    // per priority class
+    Duration admission_retry_after{2'000'000};   // Backpressure hint (2 ms)
   };
 
   struct Stats {
@@ -97,6 +111,10 @@ class PortusDaemon {
     // Restores refused because the DONE slot's payload failed the CRC scrub
     // (missing/torn/stale CRC block, or tensor bytes not matching it).
     std::uint64_t integrity_rejects = 0;
+    // Checkpoints bounced with a retryable Backpressure answer (admission
+    // queue full). Deliberately NOT counted as failed_ops: the client
+    // retries and the op is expected to land.
+    std::uint64_t backpressure_rejects = 0;
     Bytes bytes_pulled = 0;
     Bytes bytes_pushed = 0;
     // --- pipelined datapath observability ---
@@ -171,6 +189,20 @@ class PortusDaemon {
   PmemAllocator& allocator() { return *allocator_; }
   pmem::PmemDevice& device() { return device_; }
   net::Node& node() { return node_; }
+  sim::Engine& engine() { return cluster_.engine(); }
+
+  // Tenancy (null unless Config::tenancy is on).
+  TenantRegistry* tenants() { return tenants_.get(); }
+  AdmissionController* admission() { return admission_.get(); }
+  // Online-repack relocation barrier: stop granting new checkpoint
+  // admissions while a maintenance window rewrites the allocator. No-ops
+  // when tenancy is off (the offline repacker quiesces the allocator alone).
+  void pause_admissions() {
+    if (admission_ != nullptr) admission_->pause();
+  }
+  void resume_admissions() {
+    if (admission_ != nullptr) admission_->resume();
+  }
 
   // Models whose training job sent FINISH_JOB (repacker input).
   const std::set<std::string>& finished_models() const { return finished_; }
@@ -213,6 +245,10 @@ class PortusDaemon {
   std::unique_ptr<ModelTable> model_table_;
   std::unique_ptr<PmemAllocator> allocator_;
   std::unique_ptr<sim::SimSemaphore> workers_;
+  // Tenancy (declared registry-before-controller: tickets released while
+  // the controller dies must still find their tenants).
+  std::unique_ptr<TenantRegistry> tenants_;
+  std::unique_ptr<AdmissionController> admission_;
   std::map<std::string, ModelSession> sessions_;
   std::set<std::string> finished_;
   std::vector<std::weak_ptr<net::TcpSocket>> client_sockets_;  // kill() targets

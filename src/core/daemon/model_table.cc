@@ -22,12 +22,20 @@ void ModelTable::persist_slot(std::uint32_t index) {
               name);
   w.raw(name, kNameCapacity);
   w.u64(slot.info_offset);
-  // State field: bit 0 = used, bit 1 = training job finished.
-  w.u32((slot.used ? 1u : 0u) | (slot.finished ? 2u : 0u));
+  // State field: bit 0 = used. The finished hint lives out-of-line (see
+  // persist_finished) so flipping it cannot tear this CRC'd entry.
+  w.u32(slot.used ? 1u : 0u);
   w.u32(Crc32::of(w.buffer().data(), w.buffer().size()));
   const Bytes at = table_offset_ + static_cast<Bytes>(index) * kEntrySize;
   device_.write(at, w.buffer());
   device_.persist(at, kEntrySize);
+}
+
+void ModelTable::persist_finished(std::uint32_t index) {
+  BinaryWriter w;
+  w.u32(slots_[index].finished ? kFinishedMagic : 0u);
+  device_.write(flag_offset(index), w.buffer());
+  device_.persist(flag_offset(index), sizeof(std::uint32_t));
 }
 
 void ModelTable::insert(const std::string& model_name, Bytes info_offset) {
@@ -44,6 +52,10 @@ void ModelTable::insert(const std::string& model_name, Bytes info_offset) {
   for (std::uint32_t i = 0; i < capacity_; ++i) {
     if (slots_[i].used) continue;
     slots_[i] = Slot{model_name, info_offset, true, false};
+    // Clear a stale finished magic a previously removed occupant may have
+    // left, *before* the entry becomes valid: a cut between the two
+    // persists must not resurrect the old hint onto the new model.
+    persist_finished(i);
     persist_slot(i);
     map_.emplace(model_name, std::make_pair(i, info_offset));
     return;
@@ -79,8 +91,13 @@ void ModelTable::recover() {
       slots_[i] = Slot{};
       continue;
     }
+    const auto flag_raw = device_.read(flag_offset(i), sizeof(std::uint32_t));
+    BinaryReader fr{flag_raw};
+    // Anything but the exact magic (zero, a torn line's garbage) reads as
+    // "not finished" — losing the hint is safe, losing the entry is not.
+    const bool finished = fr.u32() == kFinishedMagic;
     std::string name{reinterpret_cast<const char*>(name_bytes.data())};
-    slots_[i] = Slot{name, info_offset, true, (state & 2u) != 0};
+    slots_[i] = Slot{name, info_offset, true, finished};
     map_.emplace(std::move(name), std::make_pair(i, info_offset));
   }
 }
@@ -89,7 +106,7 @@ void ModelTable::set_finished(const std::string& model_name, bool finished) {
   const auto it = map_.find(model_name);
   if (it == map_.end()) throw NotFound("no such model: " + model_name);
   slots_[it->second.first].finished = finished;
-  persist_slot(it->second.first);
+  persist_finished(it->second.first);
 }
 
 bool ModelTable::is_finished(const std::string& model_name) const {

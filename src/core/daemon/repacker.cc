@@ -1,56 +1,115 @@
 #include "core/daemon/repacker.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace portus::core {
 
-Repacker::Report Repacker::repack() {
-  Report report;
-  auto& table = daemon_.model_table();
+int Repacker::reclaim_model(const std::string& name, Report& report) {
   auto& allocator = daemon_.allocator();
+  auto& table = daemon_.model_table();
 
-  for (const auto& name : table.names()) {
-    // Prefer the live index (shares slot-header state with the daemon);
-    // fall back to loading from PMEM for models without a session.
-    MIndex* live = daemon_.find_live_index(name);
-    std::optional<MIndex> loaded;
-    if (live == nullptr) loaded.emplace(daemon_.load_index(name));
-    MIndex& index = live != nullptr ? *live : *loaded;
+  // Prefer the live index (shares slot-header state with the daemon);
+  // fall back to loading from PMEM for models without a session.
+  MIndex* live = daemon_.find_live_index(name);
+  std::optional<MIndex> loaded;
+  if (live == nullptr) loaded.emplace(daemon_.load_index(name));
+  MIndex& index = live != nullptr ? *live : *loaded;
 
-    const bool finished =
-        daemon_.finished_models().contains(name) || table.is_finished(name);
-    const auto latest = index.latest_done_slot();
+  const bool finished = daemon_.finished_models().contains(name) || table.is_finished(name);
+  const auto latest = index.latest_done_slot();
 
-    for (int i = 0; i < 2; ++i) {
-      const auto& slot = index.slot(i);
-      if (slot.data_offset == 0) continue;
+  int cleared = 0;
+  for (int i = 0; i < 2; ++i) {
+    const auto& slot = index.slot(i);
+    if (slot.data_offset == 0) continue;
 
-      const bool crashed_active =
-          slot.state == SlotState::kActive && live == nullptr;  // no running ckpt
-      const bool outdated = finished && (!latest.has_value() || i != *latest) &&
-                            slot.state != SlotState::kActive;
+    const bool crashed_active =
+        slot.state == SlotState::kActive && live == nullptr;  // no running ckpt
+    const bool outdated = finished && (!latest.has_value() || i != *latest) &&
+                          slot.state != SlotState::kActive;
 
-      if (!crashed_active && !outdated) continue;
+    if (!crashed_active && !outdated) continue;
 
-      allocator.free(slot.data_offset);
-      index.clear_slot(i);
-      ++report.slots_cleared;
-      if (crashed_active) {
-        report.freed_crashed += index.slot_size();
-      } else {
-        report.freed_outdated += index.slot_size();
-      }
+    allocator.free(slot.data_offset);
+    index.clear_slot(i);
+    ++cleared;
+    ++report.slots_cleared;
+    if (crashed_active) {
+      report.freed_crashed += index.slot_size();
+    } else {
+      report.freed_outdated += index.slot_size();
     }
   }
 
+  // Tenancy: a model whose slots are all gone stops holding PMEM — return
+  // its whole capacity charge (uncharge clamps, so over-asking is safe).
+  if (cleared > 0 && daemon_.tenants() != nullptr && index.slot(0).data_offset == 0 &&
+      index.slot(1).data_offset == 0) {
+    daemon_.tenants()->uncharge(name, 2 * index.slot_size());
+  }
+  return cleared;
+}
+
+Repacker::Report Repacker::repack() {
+  Report report;
+  for (const auto& name : daemon_.model_table().names()) reclaim_model(name, report);
+
   // Adopt heap bytes orphaned by torn AllocTable entries before compacting,
   // so a leaked extent adjacent to the tail is reclaimed in the same pass.
+  auto& allocator = daemon_.allocator();
   report.gaps_adopted = allocator.sweep_gaps();
   report.compacted = allocator.compact();
   PLOG_INFO("repacker", "freed {} outdated + {} crashed, adopted {} leaked, compacted {}",
             format_bytes(report.freed_outdated), format_bytes(report.freed_crashed),
             format_bytes(report.gaps_adopted), format_bytes(report.compacted));
   return report;
+}
+
+sim::SubTask<Repacker::Report> Repacker::repack_online(OnlineOptions options) {
+  PORTUS_CHECK_ARG(options.models_per_pass >= 1, "online repack needs models_per_pass >= 1");
+  Report report;
+  // Snapshot the model list up front; models registered mid-repack are new
+  // and carry no garbage worth chasing this round.
+  const auto names = daemon_.model_table().names();
+
+  for (std::size_t begin = 0; begin < names.size();
+       begin += static_cast<std::size_t>(options.models_per_pass)) {
+    const auto end =
+        std::min(names.size(), begin + static_cast<std::size_t>(options.models_per_pass));
+
+    // Relocation barrier: stop granting checkpoint admissions, quiesce the
+    // allocator, and do this batch's reclamation synchronously (no suspend
+    // while the barrier is up — in-flight ops already past admission see a
+    // consistent table; compact() moves no data).
+    daemon_.pause_admissions();
+    int cleared = 0;
+    {
+      PmemAllocator::Pause pause{daemon_.allocator()};
+      for (std::size_t i = begin; i < end; ++i) cleared += reclaim_model(names[i], report);
+      report.gaps_adopted += daemon_.allocator().sweep_gaps();
+      report.compacted += daemon_.allocator().compact();
+    }
+    ++report.passes;
+
+    // Charge the window's cost in virtual time while admissions stay
+    // barred: this is the latency the fleet actually pays per pass.
+    const Duration window{options.pass_cost_base.count() +
+                          cleared * options.pass_cost_per_slot.count()};
+    report.paused_time += window;
+    co_await daemon_.engine().sleep(window);
+    daemon_.resume_admissions();
+
+    co_await daemon_.engine().sleep(options.yield);  // let live traffic breathe
+  }
+
+  PLOG_INFO("repacker",
+            "online: {} passes, freed {} outdated + {} crashed, compacted {}, paused {}",
+            report.passes, format_bytes(report.freed_outdated),
+            format_bytes(report.freed_crashed), format_bytes(report.compacted),
+            format_duration(report.paused_time));
+  co_return report;
 }
 
 }  // namespace portus::core

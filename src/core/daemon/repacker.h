@@ -8,9 +8,21 @@
 //       incomplete data and can never be restored.
 //
 // Repacking frees those TensorData extents and compacts the allocator's
-// tail. It is a stop-the-world maintenance pass: the daemon must be
-// quiescent (the paper runs it "in the background ... when available space
-// is low", overlapped with training on other tenants).
+// tail. Two modes:
+//
+//   * repack() — the classic offline pass: one stop-the-world sweep over
+//     every model while the daemon is quiescent.
+//
+//   * repack_online() — incremental: the model list is walked in bounded
+//     batches, each under a short relocation barrier (admissions paused +
+//     allocator quiesced) whose length is charged in virtual time, with the
+//     daemon serving live traffic between batches. This is the paper's
+//     "in the background ... when available space is low" mode made real:
+//     the fleet keeps checkpointing while garbage is swept, and only the
+//     tenants unlucky enough to arrive inside a window wait it out.
+//
+// When the daemon runs tenanted, fully-reclaimed models return their PMEM
+// capacity charge to their tenant's quota.
 #pragma once
 
 #include <set>
@@ -28,6 +40,19 @@ class Repacker {
     Bytes gaps_adopted = 0;     // leaked (torn-entry) heap bytes re-tracked
     Bytes compacted = 0;        // returned to the bump region
     int slots_cleared = 0;
+    // --- online mode ---
+    int passes = 0;             // bounded maintenance windows taken
+    Duration paused_time{0};    // total time admissions were barred
+  };
+
+  // Knobs for the incremental pass. The window cost model is deliberately
+  // simple: a base barrier cost plus a per-cleared-slot relocation cost —
+  // enough to make "repack more" visibly cost the fleet latency.
+  struct OnlineOptions {
+    int models_per_pass = 8;
+    Duration pass_cost_base{100'000};     // 0.1 ms barrier setup/teardown
+    Duration pass_cost_per_slot{20'000};  // 20 us per slot relocated
+    Duration yield{200'000};              // live-traffic gap between passes
   };
 
   explicit Repacker(PortusDaemon& daemon) : daemon_{daemon} {}
@@ -37,7 +62,19 @@ class Repacker {
   // unless the model has a live session with that checkpoint still running.
   Report repack();
 
+  // Incremental variant: same reclamation rules, applied a batch of models
+  // at a time under short admission barriers, interleaving with live
+  // checkpoint traffic. Safe against the in-flight datapath: the barrier
+  // stops *new* admissions and the maintenance work inside a window is
+  // synchronous (never suspends), so a window observes a consistent
+  // allocator; compact() moves no data, only reclaims the free tail.
+  sim::SubTask<Report> repack_online(OnlineOptions options);
+  sim::SubTask<Report> repack_online() { return repack_online(OnlineOptions{}); }
+
  private:
+  // Apply the reclamation rules to one model. Returns slots cleared.
+  int reclaim_model(const std::string& name, Report& report);
+
   PortusDaemon& daemon_;
 };
 

@@ -50,10 +50,13 @@ std::string Portusctl::render_stats() {
   out += strf("{:<28}{}\n", "bytes pulled", format_bytes(s.bytes_pulled));
   out += strf("{:<28}{}\n", "bytes pushed", format_bytes(s.bytes_pushed));
   out += "--- pipelined datapath ---\n";
-  out += strf("{:<28}{}\n", "chunks posted", s.chunks_posted);
-  out += strf("{:<28}{} rdma / {} local\n", "chunk mix", s.rdma_chunks, s.local_chunks);
-  out += strf("{:<28}{}\n", "rdma wrs posted", s.wrs_posted);
-  out += strf("{:<28}{}\n", "extents coalesced", s.extents_coalesced);
+  // Fleet-scale counters (chunks, WRs, doorbells) pass 7 digits long before
+  // a daemon restarts; humanize them so the table stays column-aligned.
+  out += strf("{:<28}{}\n", "chunks posted", format_count(s.chunks_posted));
+  out += strf("{:<28}{} rdma / {} local\n", "chunk mix", format_count(s.rdma_chunks),
+              format_count(s.local_chunks));
+  out += strf("{:<28}{}\n", "rdma wrs posted", format_count(s.wrs_posted));
+  out += strf("{:<28}{}\n", "extents coalesced", format_count(s.extents_coalesced));
   out += strf("{:<28}{:.2f}\n", "mean sges per wr",
               s.wrs_posted > 0
                   ? static_cast<double>(s.sges_posted) / static_cast<double>(s.wrs_posted)
@@ -66,16 +69,54 @@ std::string Portusctl::render_stats() {
               to_seconds(s.mean_queue_delay()) * 1e6);
   out += strf("{:<28}{:.1f} us\n", "max queue delay",
               to_seconds(s.queue_delay_max) * 1e6);
-  out += strf("{:<28}{}\n", "doorbells rung", s.doorbells);
+  out += strf("{:<28}{}\n", "doorbells rung", format_count(s.doorbells));
   out += strf("{:<28}{:.2f}\n", "doorbells per window", s.doorbells_per_window());
   out += strf("{:<28}{:.2f}\n", "wrs per doorbell", s.wrs_per_doorbell());
   out += "--- allocator shards ---\n";
   for (const auto& sh : daemon_.allocator().shard_stats()) {
     out += strf("shard {:<3} {:>10} live {:>10} free {:>10} rsvd  "
-                "{:>4}/{:<4} entries  {} allocs {} frees {} refills {} steals\n",
+                "{:>4}/{:<4} entries  {:>6} allocs {:>6} frees {:>6} refills "
+                "{:>6} steals\n",
                 sh.shard, format_bytes(sh.live), format_bytes(sh.free_listed),
-                format_bytes(sh.reserved), sh.entries, sh.capacity, sh.allocs,
-                sh.frees, sh.refills, sh.steals);
+                format_bytes(sh.reserved), sh.entries, sh.capacity,
+                format_count(sh.allocs), format_count(sh.frees),
+                format_count(sh.refills), format_count(sh.steals));
+  }
+  return out;
+}
+
+std::string Portusctl::render_tenants() {
+  std::string out = "--- tenants ---\n";
+  const TenantRegistry* reg = daemon_.tenants();
+  if (reg == nullptr) return out + "tenancy disabled on this daemon\n";
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"TENANT", "CLASS", "MODELS", "CHARGED", "CAPACITY", "RATE", "WR",
+                  "ADMITTED", "REJECTED", "PACED", "QWAIT-MAX"});
+  for (const Tenant* t : reg->tenants()) {
+    rows.push_back(
+        {t->id, to_string(t->quota.priority), format_count(t->usage.models),
+         format_bytes(t->usage.charged_bytes),
+         t->quota.capacity_bytes > 0 ? format_bytes(t->quota.capacity_bytes) : "unlimited",
+         t->quota.rate_bytes_per_sec > 0
+             ? format_bandwidth(Bandwidth::bytes_per_sec(
+                   static_cast<double>(t->quota.rate_bytes_per_sec)))
+             : "unpaced",
+         t->quota.wr_slots > 0 ? strf("{}", t->quota.wr_slots) : "-",
+         format_count(t->usage.admitted),
+         format_count(t->usage.rejected + t->usage.quota_rejects),
+         format_duration(t->usage.paced_total), format_duration(t->usage.queue_wait_max)});
+  }
+  out += format_table(rows, "<<>>>>>>>>>");
+
+  if (const AdmissionController* adm = daemon_.admission(); adm != nullptr) {
+    const auto& s = adm->stats();
+    out += strf(
+        "admission: {} inflight, {} queued, {} admitted, {} rejected, "
+        "{} paced, {} pauses ({} paused)\n",
+        adm->inflight(), adm->queued(), format_count(s.admitted),
+        format_count(s.rejected), format_count(s.paced), s.pauses,
+        format_duration(s.paused_total));
   }
   return out;
 }

@@ -51,6 +51,12 @@ class Portusctl {
   // daemon this tool is attached to.
   std::string render_stats();
 
+  // `portusctl tenants`: the per-tenant quota/usage table (granted quota
+  // vs charged capacity, admission/backpressure/pacing counters) plus the
+  // admission controller's aggregate line. Tenancy state is DRAM-only, so
+  // this renders live daemon state, not anything read from the image.
+  std::string render_tenants();
+
   // `portusctl dump`: read the newest DONE version's TensorData out of PMEM
   // and serialize it into the portable container format. Charges PMEM read
   // + CPU serialization time.

@@ -68,6 +68,10 @@ std::vector<std::byte> encode(const RegisterModelMsg& m) {
   w.u32(m.replica_count);
   w.u64(m.placement_epoch);
   w.bytes(m.manifest);
+  w.str(m.tenant_id);
+  w.u8(m.priority);
+  w.u64(m.requested_capacity);
+  w.u64(m.requested_rate);
   w.u32(static_cast<std::uint32_t>(m.tensors.size()));
   for (const auto& t : m.tensors) {
     w.str(t.name);
@@ -107,6 +111,11 @@ RegisterModelMsg decode_register_model(std::span<const std::byte> wire) {
   }
   m.placement_epoch = r.u64();
   m.manifest = r.bytes();
+  m.tenant_id = r.str();
+  m.priority = r.u8();
+  if (m.priority > 2) throw Corruption("implausible priority class in registration");
+  m.requested_capacity = r.u64();
+  m.requested_rate = r.u64();
   const auto count = r.u32();
   if (count > 1u << 20) throw Corruption("implausible tensor count in registration");
   m.tensors.reserve(count);
@@ -134,6 +143,9 @@ std::vector<std::byte> encode(const RegisterAckMsg& m) {
   put_status(w, m.ok, m.error);
   w.u32(m.stripes);
   w.u32(m.max_sges);
+  w.u64(m.granted_capacity);
+  w.u64(m.granted_rate);
+  w.u32(m.granted_wr_slots);
   return w.take();
 }
 
@@ -149,6 +161,9 @@ RegisterAckMsg decode_register_ack(std::span<const std::byte> wire) {
   m.error = r.str();
   m.stripes = r.u32();
   m.max_sges = r.u32();
+  m.granted_capacity = r.u64();
+  m.granted_rate = r.u64();
+  m.granted_wr_slots = r.u32();
   return m;
 }
 
@@ -181,6 +196,8 @@ std::vector<std::byte> encode(const CheckpointDoneMsg& m) {
   w.u64(m.epoch);
   put_status(w, m.ok, m.error);
   w.u32(m.payload_crc);
+  w.u8(m.backpressure ? 1 : 0);
+  w.u64(m.retry_after_ns);
   return w.take();
 }
 
@@ -192,6 +209,8 @@ CheckpointDoneMsg decode_checkpoint_done(std::span<const std::byte> wire) {
   m.ok = r.u8() != 0;
   m.error = r.str();
   m.payload_crc = r.u32();
+  m.backpressure = r.u8() != 0;
+  m.retry_after_ns = r.u64();
   return m;
 }
 
@@ -218,6 +237,8 @@ std::vector<std::byte> encode(const RestoreDoneMsg& m) {
   w.u64(m.epoch);
   put_status(w, m.ok, m.error);
   w.u32(m.payload_crc);
+  w.u8(m.backpressure ? 1 : 0);
+  w.u64(m.retry_after_ns);
   return w.take();
 }
 
@@ -229,6 +250,8 @@ RestoreDoneMsg decode_restore_done(std::span<const std::byte> wire) {
   m.ok = r.u8() != 0;
   m.error = r.str();
   m.payload_crc = r.u32();
+  m.backpressure = r.u8() != 0;
+  m.retry_after_ns = r.u64();
   return m;
 }
 

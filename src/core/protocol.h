@@ -36,7 +36,11 @@ inline constexpr std::uint32_t kProtocolMagic = 0x50545553;  // "PTUS"
 // v3: CheckpointDoneMsg / RestoreDoneMsg grew payload_crc.
 // v4: registration + ack carry the negotiated multi-SGE gather capability
 //     (max_sges); a capability of 1 is the clean single-SGE fallback.
-inline constexpr std::uint16_t kProtocolVersion = 4;
+// v5: tenant-quota negotiation — registration carries a tenant identity,
+//     priority class and requested quotas, the ack answers with the granted
+//     quota, and the Done messages can flag a retryable Backpressure
+//     rejection with a pacing hint.
+inline constexpr std::uint16_t kProtocolVersion = 5;
 
 enum class MsgType : std::uint8_t {
   kRegisterModel = 1,
@@ -56,6 +60,16 @@ const char* to_string(MsgType t);
 // Distinct from Corruption so handlers can answer with an explicit
 // rejection instead of treating the message as line noise.
 class ProtocolMismatch : public Error {
+ public:
+  using Error::Error;
+};
+
+// The daemon's admission controller refused an operation because the
+// tenant's class queue is full (bounded queue depth). Retryable by design:
+// the client backs off (jittered exponential, see PortusClient::RetryPolicy)
+// and reissues. Carried on the wire as the Done messages' backpressure flag
+// rather than as a dropped connection.
+class Backpressure : public Error {
  public:
   using Error::Error;
 };
@@ -93,6 +107,14 @@ struct RegisterModelMsg {
   // Encoded ShardManifest, persisted alongside the shard's MIndex so any
   // surviving daemon can reconstruct the full placement. Empty = none.
   std::vector<std::byte> manifest;
+  // --- tenancy (v5, core/daemon/tenant.h). An empty tenant_id files the
+  // registration under the daemon's "default" tenant; the requested_* fields
+  // are wishes the daemon clamps against its own policy (the grant comes
+  // back in the ack). ---
+  std::string tenant_id;
+  std::uint8_t priority = 1;       // 0 = high, 1 = normal, 2 = batch
+  Bytes requested_capacity = 0;    // PMEM bytes wanted (0 = policy default)
+  Bytes requested_rate = 0;        // pacing bytes/sec wanted (0 = default)
   std::vector<TensorDesc> tensors;
 
   bool sharded() const { return shard_count > 1 || replica_count > 1; }
@@ -115,6 +137,12 @@ struct RegisterAckMsg {
   // the client's offer, the daemon's coalescing config, and its NIC. 1 =
   // single-SGE datapath (coalescing off).
   std::uint32_t max_sges = 1;
+  // --- tenancy grant (v5): what the admission controller will hold this
+  // registration's tenant to. 0 = unlimited / unpaced (tenancy off or no
+  // policy ceiling).
+  Bytes granted_capacity = 0;
+  Bytes granted_rate = 0;
+  std::uint32_t granted_wr_slots = 0;  // in-flight checkpoint admissions
 };
 
 struct CheckpointReqMsg {
@@ -136,6 +164,10 @@ struct CheckpointDoneMsg {
   // dnn::Model::weights_crc()); 0 when !ok or for phantom models. Lets the
   // client end-to-end verify that what landed on PMEM is what it sent.
   std::uint32_t payload_crc = 0;
+  // v5 admission control: ok=false with backpressure=true means the class
+  // queue was full — retry after backing off at least retry_after_ns.
+  bool backpressure = false;
+  std::uint64_t retry_after_ns = 0;
 };
 
 struct RestoreReqMsg {
@@ -156,6 +188,9 @@ struct RestoreDoneMsg {
   // verified against the persisted payload-CRC block before any byte is
   // pushed, so ok=true implies the tensors passed the integrity scrub.
   std::uint32_t payload_crc = 0;
+  // v5 admission control (see CheckpointDoneMsg).
+  bool backpressure = false;
+  std::uint64_t retry_after_ns = 0;
 };
 
 struct FinishJobMsg {

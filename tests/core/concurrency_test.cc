@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -301,6 +302,106 @@ TEST(AllocatorConcurrencyTest, CompactAndSweepUnderChurnStayConsistent) {
   f.alloc.compact();
   f.alloc.sweep_gaps();
   EXPECT_EQ(f.alloc.live_bytes(), 0u) << "all extents were freed";
+  auto extents = f.alloc.extents();
+  std::sort(extents.begin(), extents.end(),
+            [](const auto& a, const auto& b) { return a.offset < b.offset; });
+  Bytes tracked = 0;
+  Bytes prev_end = 0;
+  for (const auto& e : extents) {
+    EXPECT_GE(e.offset, prev_end) << "overlapping extents";
+    prev_end = e.offset + e.size;
+    tracked += e.size;
+  }
+  EXPECT_EQ(tracked, f.alloc.bump() - f.config.data_offset) << "heap bytes leaked";
+
+  f.device.persist_all();
+  PmemAllocator recovered{f.device, f.config};
+  recovered.recover();
+  EXPECT_EQ(recovered.live_bytes(), 0u);
+}
+
+TEST(AllocatorConcurrencyTest, CheckpointStormVsIncrementalCompaction) {
+  // The online repacker's schedule from a real-thread angle: checkpoint
+  // workers churn paired slot extents (every model holds two slots; a
+  // finished job frees both) while a dedicated maintenance thread runs
+  // *incremental* compaction — many short bounded Pause windows, each
+  // freeing and sweeping a little, instead of one long stop-the-world
+  // quiesce. Workers treat the transient InvalidArgument during a window
+  // exactly like admission Backpressure and retry.
+  ShardedFixture f;
+  constexpr int kWorkers = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> checkpoints{0};
+
+  // Retry exactly ONE allocator call until it clears a maintenance window.
+  // The retry unit must be the individual op, not a compound sequence: a
+  // window opening between free(slot0) and free(slot1) must not re-run the
+  // first free (double free) or drop an already-granted allocation.
+  const auto with_retry = [&](auto op) {
+    for (;;) {
+      try {
+        return op();
+      } catch (const InvalidArgument& e) {
+        if (std::string_view{e.what()}.find("quiesced") == std::string_view::npos) throw;
+        std::this_thread::yield();  // window open: back off and retry
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      const std::uint32_t shard = static_cast<std::uint32_t>(w) % f.alloc.shard_count();
+      std::vector<std::pair<Bytes, Bytes>> slots;  // (slot0, slot1) per model
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (slots.size() < 8) {
+          const Bytes size = 1_KiB + static_cast<Bytes>(w % 4) * 512;
+          const auto s0 = with_retry([&] { return f.alloc.alloc_on(shard, size); });
+          const auto s1 = with_retry([&] { return f.alloc.alloc_on(shard, size); });
+          slots.emplace_back(s0, s1);
+        } else {  // FINISH_JOB: both slots of the oldest model reclaimed
+          with_retry([&] { f.alloc.free(slots.front().first); });
+          with_retry([&] { f.alloc.free(slots.front().second); });
+          slots.erase(slots.begin());
+        }
+        checkpoints.fetch_add(1, std::memory_order_relaxed);
+      }
+      for (const auto& [s0, s1] : slots) {
+        with_retry([&] { f.alloc.free(s0); });
+        with_retry([&] { f.alloc.free(s1); });
+      }
+    });
+  }
+
+  // Maintenance thread: 24 short windows. Holding the Pause while calling
+  // the self-quiescing sweeps is the owner-exemption/re-entrancy contract
+  // repack_online relies on.
+  std::atomic<int> windows{0};
+  std::thread maintenance{[&] {
+    for (int round = 0; round < 24; ++round) {
+      {
+        PmemAllocator::Pause pause{f.alloc};
+        f.alloc.sweep_gaps();
+        f.alloc.compact();
+      }
+      windows.fetch_add(1, std::memory_order_relaxed);
+      // Insist on churn progress between windows so the two actually
+      // interleave instead of the maintenance loop finishing first.
+      const auto target = checkpoints.load() + 25;
+      while (checkpoints.load() < target) std::this_thread::yield();
+    }
+  }};
+  maintenance.join();
+  stop.store(true);
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(windows.load(), 24);
+  EXPECT_GT(checkpoints.load(), 0u);
+
+  // Quiet: everything was freed, and no byte below the bump pointer leaked
+  // through the interleaved windows.
+  f.alloc.compact();
+  f.alloc.sweep_gaps();
+  EXPECT_EQ(f.alloc.live_bytes(), 0u);
   auto extents = f.alloc.extents();
   std::sort(extents.begin(), extents.end(),
             [](const auto& a, const auto& b) { return a.offset < b.offset; });

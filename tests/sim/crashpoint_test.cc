@@ -29,6 +29,7 @@
 #include "core/cluster/manifest.h"
 #include "core/daemon/daemon.h"
 #include "core/daemon/fsck.h"
+#include "core/daemon/repacker.h"
 #include "dnn/model.h"
 #include "dnn/model_zoo.h"
 #include "net/cluster.h"
@@ -153,11 +154,13 @@ void verify_point(const Recording& rec, const sim::CrashPoint& p,
 
   // The repaired image: newest committed epoch intact, every heap byte
   // below the bump tracked again, and a second pass finds nothing at all.
+  // Phantom indices stay out of the epoch comparison, mirroring the
+  // pre-repair loop: their epochs never enter the golden map.
   std::uint64_t max_after = 0;
   for (const auto& name : daemon.model_table().names()) {
     const auto index = daemon.load_index(name);  // all records load post-repair
     for (int i = 0; i < 2; ++i) {
-      if (index.slot(i).state == core::SlotState::kDone) {
+      if (index.slot(i).state == core::SlotState::kDone && !index.phantom()) {
         max_after = std::max(max_after, index.slot(i).epoch);
       }
       EXPECT_NE(index.slot(i).state, core::SlotState::kActive) << "ACTIVE survived fsck";
@@ -524,6 +527,104 @@ TEST(CrashpointTest, ShardRegistrationBoundariesSurvivePowerCut) {
     EXPECT_EQ(report.overlap_violations, 0);
     EXPECT_TRUE(core::Fsck{daemon}.run(/*repair=*/true).clean());
     eng.shutdown();
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
+// --- workload 5: online repack under admitted live traffic --------------------
+
+// The online repacker frees reclaimed slots, rewrites AllocTable entries
+// and compacts the bump inside bounded admission-pause windows, while a
+// live tenant keeps checkpointing between windows. A power cut can land
+// mid-relocation — between a slot clear, its extent's FREE publication and
+// the compacted bump persist. Every such boundary must leave an image
+// where the finished job's *latest* committed epoch and every live-job ack
+// survive, and fsck finds nothing worse than the expected torn leftovers.
+core::PortusDaemon::Config online_repack_cfg() {
+  core::PortusDaemon::Config cfg;
+  cfg.chunk_bytes = 16_KiB;
+  cfg.pipeline_window = 4;
+  cfg.shards = 4;
+  cfg.alloc_refill_bytes = 64_KiB;
+  cfg.tenancy = true;
+  cfg.admission_inflight = 1;
+  return cfg;
+}
+
+Recording record_online_repack_workload() {
+  Recording rec;
+  sim::Engine eng;
+  auto world = net::Cluster::Builder{}
+                   .add_node({.name = "client", .gpu_count = 1})
+                   .add_node({.name = "server", .pmem_devdax = kDevdax})
+                   .build(eng);
+  core::QpRendezvous rendezvous;
+  core::PortusDaemon daemon{*world, world->node("server"), rendezvous,
+                            online_repack_cfg()};
+  daemon.start();
+  auto& device = daemon.device();
+
+  auto& client_node = world->node("client");
+  dnn::Model garbage{"finished-job", client_node.gpu(0)};
+  for (int b = 0; b < 4; ++b) {
+    const auto tag = std::to_string(b);
+    garbage.add_tensor(dnn::TensorMeta{.name = "fc" + tag + ".w", .shape = {48, 64}}, false);
+    garbage.add_tensor(dnn::TensorMeta{.name = "fc" + tag + ".b", .shape = {64}}, false);
+  }
+  garbage.randomize_weights(0x6A5BA6Eull);
+  // The live tenant is phantom: its slots churn the allocator and the
+  // admission path without adding payload epochs to the golden map (the
+  // walk's CRC checks are keyed by epoch alone).
+  dnn::Model live{"live", client_node.gpu(0)};
+  live.add_tensor(dnn::TensorMeta{.name = "w", .shape = {1 << 16}}, /*phantom=*/true);
+
+  core::PortusClient client{*world, client_node, client_node.gpu(0), rendezvous};
+  client.set_retry_policy(core::PortusClient::RetryPolicy{.max_retries = 20});
+
+  sim::CrashpointRecorder recorder{device};
+  eng.spawn([](sim::Engine& eng, core::PortusClient& c, dnn::Model& garbage,
+               dnn::Model& live, pmem::PmemDevice& dev, Recording& out,
+               core::PortusDaemon& d) -> sim::Process {
+    co_await c.connect();
+    co_await c.register_model(garbage);
+    for (std::uint64_t k = 1; k <= 2; ++k) {
+      garbage.mutate_weights(k);
+      const auto golden = garbage.weights_crc();
+      const auto epoch = co_await c.checkpoint(garbage, k);
+      out.golden[epoch] = golden;
+      out.acks.push_back(Ack{dev.persist_seq(), epoch});
+    }
+    co_await c.finish(garbage);  // epoch 1 becomes reclaimable garbage
+
+    co_await c.register_model(live);
+    core::Repacker::Report report;
+    auto maint = eng.spawn([](core::PortusDaemon& d,
+                              core::Repacker::Report& out) -> sim::Process {
+      core::Repacker repacker{d};
+      core::Repacker::OnlineOptions opts;
+      opts.models_per_pass = 1;
+      out = co_await repacker.repack_online(opts);
+    }(d, report));
+    for (std::uint64_t k = 1; k <= 4; ++k) {
+      co_await c.checkpoint(live, k);
+    }
+    co_await maint.join();
+    if (report.freed_outdated == 0) throw Error("repack reclaimed no garbage");
+  }(eng, client, garbage, live, device, rec, daemon));
+  eng.run();
+  recorder.detach();
+  rec.points = recorder.points();
+  eng.shutdown();
+  return rec;
+}
+
+TEST(CrashpointTest, MidRelocationBoundariesLeaveImageFsckClean) {
+  const auto rec = record_online_repack_workload();
+  EXPECT_GE(rec.points.size(), 40u);
+  ASSERT_EQ(rec.golden.size(), 2u);
+
+  for (const auto& p : rec.points) {
+    verify_point(rec, p, online_repack_cfg());
     if (::testing::Test::HasFatalFailure()) break;
   }
 }

@@ -22,6 +22,7 @@
 #include "core/cluster/cluster_client.h"
 #include "core/cluster/cluster_ctl.h"
 #include "core/daemon/daemon.h"
+#include "core/fleet/fleet_gen.h"
 #include "core/portusctl.h"
 #include "dnn/model_zoo.h"
 #include "net/cluster.h"
@@ -157,6 +158,64 @@ int cmd_fsck(const std::string& image, bool verify_only) {
   return report.clean() ? 0 : 1;
 }
 
+// `portusctl tenants`: the per-tenant quota/usage table. Tenancy state is
+// daemon DRAM only (quotas re-negotiate on re-registration), so there is no
+// image to read it from — this subcommand drives a small mixed-class fleet
+// against a tenancy-enabled two-daemon ring and renders what an admin would
+// see on a live deployment.
+int cmd_tenants() {
+  struct TenantWorld {
+    sim::Engine engine;
+    std::unique_ptr<net::Cluster> cluster;
+    core::QpRendezvous rendezvous;
+    std::vector<std::unique_ptr<core::PortusDaemon>> daemons;
+    std::vector<std::string> endpoints;
+
+    TenantWorld() {
+      cluster = net::Cluster::sharded_testbed(engine, 2);
+      for (int i = 0; i < 2; ++i) {
+        core::PortusDaemon::Config cfg;
+        cfg.endpoint = strf("portusd{}", i);
+        cfg.tenancy = true;
+        cfg.admission_inflight = 1;
+        cfg.admission_queue_depth = 4;
+        cfg.tenant_defaults.capacity_bytes = 4_GiB;  // policy ceiling
+        endpoints.push_back(cfg.endpoint);
+        daemons.push_back(std::make_unique<core::PortusDaemon>(
+            *cluster, cluster->node(strf("pmem{}", i)), rendezvous, cfg));
+        daemons.back()->start();
+      }
+    }
+    ~TenantWorld() { engine.shutdown(); }
+  };
+
+  TenantWorld w;
+  core::fleet::FleetConfig fc;
+  fc.tenants = 12;
+  fc.checkpoints_per_tenant = 3;
+  fc.name_prefix = "demo";
+  fc.high_period = Duration{500'000'000};
+  fc.normal_period = Duration{200'000'000};
+  fc.batch_period = Duration{8'000'000};
+  core::fleet::FleetGen gen{*w.cluster, w.cluster->node("client-volta"), w.rendezvous,
+                            w.endpoints, fc};
+  core::fleet::FleetReport rep;
+  w.engine.spawn([](core::fleet::FleetGen& g,
+                    core::fleet::FleetReport& out) -> sim::Process {
+    out = co_await g.run();
+  }(gen, rep));
+  w.engine.run();
+
+  std::cout << strf("{} tenants, {} checkpoints, {} backpressure retries absorbed\n\n",
+                    fc.tenants, rep.checkpoints, rep.retries);
+  for (auto& d : w.daemons) {
+    core::Portusctl ctl{*d};
+    std::cout << strf("=== {} ===\n", d->config().endpoint) << ctl.render_tenants()
+              << "\n";
+  }
+  return rep.failures == 0 ? 0 : 1;
+}
+
 // A Portus-Cluster ring: N storage nodes, one daemon each, endpoints
 // "portusd0".."portusdN-1", all killable through the fault injector.
 struct ClusterWorld {
@@ -269,6 +328,7 @@ int usage() {
                "  portusctl dump   IMAGE MODEL OUT.ptck\n"
                "  portusctl repack IMAGE\n"
                "  portusctl fsck   IMAGE [--verify-only]\n"
+               "  portusctl tenants\n"
                "  portusctl cluster-demo   IMAGE_PREFIX\n"
                "  portusctl cluster-status IMAGE...\n";
   return 2;
@@ -277,8 +337,15 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  try {
+    if (cmd == "tenants") return cmd_tenants();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (argc < 3) return usage();
   const std::string image = argv[2];
   try {
     if (cmd == "demo") return cmd_demo(image);
