@@ -1,0 +1,255 @@
+// Elastic resize under load (ISSUE 9 tentpole): a training client
+// checkpoints continuously while the ring grows 2 -> 3 -> 4 and then
+// drains + decommissions a founding member. Each step reports what the
+// migrator moved (copies, bytes, barrier time) and what the client felt
+// (checkpoint p50/p99/worst during the step, epoch re-resolutions) —
+// elasticity must cost retries, never failed ops.
+//
+// Emits BENCH_elastic.json; exits 1 unless every resize step moved copies,
+// zero client ops failed across the whole run, and the final restore from
+// the resized ring is bit-exact. --smoke shrinks the model and per-step op
+// counts for the perf-smoke CI label.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cluster/cluster_client.h"
+#include "core/cluster/cluster_ctl.h"
+#include "core/cluster/migration.h"
+
+using namespace portus;
+
+namespace {
+
+constexpr int kNodes = 4;
+
+struct StepRow {
+  std::string step;
+  std::string kind;  // "steady" | "join" | "drain"
+  std::uint64_t copies_moved = 0;  // migrator deltas over the step
+  Bytes bytes_streamed = 0;
+  Duration barrier_time{0};
+  std::uint64_t checkpoints = 0;  // client ops landed during the step
+  Duration p50{0}, p99{0}, max{0};
+  std::uint64_t reresolutions = 0;
+  std::uint64_t client_errors = 0;
+};
+
+Duration percentile(std::vector<Duration> v, double p) {
+  if (v.empty()) return Duration{0};
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct ElasticRig {
+  sim::Engine eng;
+  std::unique_ptr<net::Cluster> cluster;
+  core::QpRendezvous rendezvous;
+  core::cluster::ElasticCluster elastic{eng};
+  std::vector<std::unique_ptr<core::PortusDaemon>> daemons;
+
+  ElasticRig() {
+    cluster = net::Cluster::sharded_testbed(eng, kNodes);
+    for (int i = 0; i < kNodes; ++i) {
+      core::PortusDaemon::Config cfg;
+      cfg.endpoint = strf("portusd{}", i);
+      cfg.workers = 8;
+      daemons.push_back(std::make_unique<core::PortusDaemon>(
+          *cluster, cluster->node(strf("pmem{}", i)), rendezvous, cfg));
+      daemons.back()->start();
+    }
+    elastic.add_member("portusd0", *daemons[0]);
+    elastic.add_member("portusd1", *daemons[1]);
+    elastic.seal();
+  }
+  ~ElasticRig() { eng.shutdown(); }
+};
+
+// Shared loader state: the resize driver flips `step` while the loader
+// keeps checkpointing and filing per-op latencies under the current step.
+struct LoadState {
+  bool stop = false;
+  std::size_t step = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t last_epoch = 0;
+  std::uint32_t last_crc = 0;
+  std::vector<std::vector<Duration>> samples;
+  std::vector<std::uint64_t> errors;
+};
+
+sim::Process loader(sim::Engine& eng, core::cluster::ClusterClient& client,
+                    dnn::Model& model, LoadState& st) {
+  co_await client.register_model(model);
+  while (!st.stop) {
+    model.mutate_weights(++st.iteration);
+    const auto golden = model.weights_crc();
+    const auto t0 = eng.now();
+    try {
+      const auto ck = co_await client.checkpoint(st.iteration);
+      st.samples[st.step].push_back(eng.now() - t0);
+      st.last_epoch = ck.epoch;
+      st.last_crc = golden;
+    } catch (const Error&) {
+      ++st.errors[st.step];
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::uint64_t ops_per_step = smoke ? 4 : 16;
+
+  bench::print_header(
+      "Elastic resize under load: 2 -> 3 -> 4 -> drain/decommission",
+      "membership epochs + online migration (Portus-Cluster elasticity); a "
+      "resize under load must cost retries, never failed ops");
+
+  ElasticRig rig;
+  auto& volta = rig.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = smoke ? 0.02 : 0.1;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+
+  core::cluster::ClusterClient::Config ccfg;
+  ccfg.replicas = 2;
+  ccfg.shard_count = 8;
+  ccfg.membership = &rig.elastic;
+  ccfg.op_timeout = Duration{50'000'000};
+  core::cluster::ClusterClient client{*rig.cluster, volta, volta.gpu(0),
+                                      rig.rendezvous, ccfg};
+
+  const std::vector<std::pair<std::string, std::string>> steps = {
+      {"steady-2", "steady"}, {"join-portusd2", "join"}, {"join-portusd3", "join"},
+      {"drain-portusd0", "drain"}};
+  LoadState st;
+  st.samples.resize(steps.size());
+  st.errors.resize(steps.size(), 0);
+  std::vector<StepRow> rows;
+
+  bool driver_done = false;
+  rig.eng.spawn(loader(rig.eng, client, model, st));
+  rig.eng.spawn([](ElasticRig& r, core::cluster::ClusterClient& c, LoadState& s,
+                   std::vector<StepRow>& out,
+                   const std::vector<std::pair<std::string, std::string>>& plan,
+                   std::uint64_t per_step, bool& done) -> sim::Process {
+    const auto traffic = [&](std::uint64_t n) -> sim::SubTask<> {
+      const std::uint64_t want = s.samples[s.step].size() + n;
+      while (s.samples[s.step].size() < want && s.errors[s.step] < n) {
+        co_await r.eng.sleep(Duration{100'000});
+      }
+    };
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      s.step = i;
+      const auto before = r.elastic.stats();
+      const auto rr_before = c.stats().epoch_reresolutions;
+      if (plan[i].second == "join") {
+        const std::string ep = plan[i].first.substr(std::strlen("join-"));
+        core::PortusDaemon* d = nullptr;
+        for (auto& cand : r.daemons) {
+          if (cand->config().endpoint == ep) d = cand.get();
+        }
+        co_await r.elastic.join(ep, *d);
+      } else if (plan[i].second == "drain") {
+        const std::string ep = plan[i].first.substr(std::strlen("drain-"));
+        co_await r.elastic.drain(ep);
+        r.elastic.decommission(ep);
+      }
+      co_await traffic(per_step);
+      const auto& after = r.elastic.stats();
+      StepRow row;
+      row.step = plan[i].first;
+      row.kind = plan[i].second;
+      row.copies_moved = after.copies_moved - before.copies_moved;
+      row.bytes_streamed = after.bytes_streamed - before.bytes_streamed;
+      row.barrier_time = after.barrier_time - before.barrier_time;
+      row.checkpoints = s.samples[i].size();
+      row.p50 = percentile(s.samples[i], 0.50);
+      row.p99 = percentile(s.samples[i], 0.99);
+      row.max = percentile(s.samples[i], 1.0);
+      row.reresolutions = c.stats().epoch_reresolutions - rr_before;
+      row.client_errors = s.errors[i];
+      out.push_back(row);
+    }
+    s.stop = true;
+    done = true;
+  }(rig, client, st, rows, steps, ops_per_step, driver_done));
+  rig.eng.run();
+  PORTUS_CHECK(driver_done, "resize driver did not finish");
+
+  // Final proof: the last acked round restores bit-exact from the ring as
+  // it now stands (3 actives, one member decommissioned).
+  bool restored = false;
+  model.mutate_weights(0xD1DE);
+  rig.eng.spawn([](core::cluster::ClusterClient& c, LoadState& s,
+                   bool& done) -> sim::Process {
+    const auto rr = co_await c.restore();
+    PORTUS_CHECK(rr.epoch == s.last_epoch, "restore served a stale epoch");
+    done = true;
+  }(client, st, restored));
+  rig.eng.run();
+  const bool bit_exact = restored && model.weights_crc() == st.last_crc;
+
+  std::cout << strf("{:>16}{:>8}{:>8}{:>12}{:>10}{:>12}{:>12}{:>12}{:>8}{:>7}\n", "step",
+                    "kind", "copies", "streamed", "barrier", "p50", "p99", "worst",
+                    "resolv", "err");
+  for (const auto& row : rows) {
+    std::cout << strf("{:>16}{:>8}{:>8}{:>12}{:>10}{:>12}{:>12}{:>12}{:>8}{:>7}\n",
+                      row.step, row.kind, row.copies_moved,
+                      format_bytes(row.bytes_streamed), format_duration(row.barrier_time),
+                      format_duration(row.p50), format_duration(row.p99),
+                      format_duration(row.max), row.reresolutions, row.client_errors);
+  }
+  std::cout << strf(
+      "\nfinal: membership epoch {}, {} active members, {} checkpoints total, "
+      "restore bit-exact: {}\n",
+      rig.elastic.membership().epoch, rig.elastic.membership().active_positions().size(),
+      client.stats().checkpoints, bit_exact ? "yes" : "NO");
+
+  // --- JSON ---
+  std::ofstream json{"BENCH_elastic.json", std::ios::trunc};
+  json << "{\n  \"bench\": \"elastic_resize\",\n"
+       << strf("  \"smoke\": {},\n  \"nodes\": {},\n  \"shard_count\": {},\n",
+               smoke ? "true" : "false", kNodes, ccfg.shard_count)
+       << strf("  \"final_epoch\": {},\n  \"bit_exact_restore\": {},\n  \"steps\": [\n",
+               rig.elastic.membership().epoch, bit_exact ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << strf(
+        "    {{\"step\": \"{}\", \"kind\": \"{}\", \"copies_moved\": {}, "
+        "\"bytes_streamed\": {}, \"barrier_ns\": {}, \"checkpoints\": {}, "
+        "\"p50_ns\": {}, \"p99_during_ns\": {}, \"max_ns\": {}, "
+        "\"reresolutions\": {}, \"client_errors\": {}}}{}\n",
+        r.step, r.kind, r.copies_moved, r.bytes_streamed, r.barrier_time.count(),
+        r.checkpoints, r.p50.count(), r.p99.count(), r.max.count(), r.reresolutions,
+        r.client_errors, i + 1 < rows.size() ? "," : "");
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::cout << "wrote BENCH_elastic.json\n";
+
+  // --- Acceptance gates ---
+  int rc = 0;
+  std::uint64_t errors = 0;
+  for (const auto& row : rows) {
+    errors += row.client_errors;
+    if (row.kind != "steady" && row.copies_moved == 0) {
+      std::cerr << strf("FAIL: step {} moved no shard copies\n", row.step);
+      rc = 1;
+    }
+  }
+  if (errors != 0) {
+    std::cerr << strf("FAIL: {} client ops failed during the resize (bar: 0)\n", errors);
+    rc = 1;
+  }
+  if (!bit_exact) {
+    std::cerr << "FAIL: restore from the resized ring is not bit-exact\n";
+    rc = 1;
+  }
+  if (rc == 0) std::cout << "elastic resize acceptance checks passed\n";
+  return rc;
+}

@@ -1,0 +1,34 @@
+// Jittered exponential backoff, shared by every retry path in the tree:
+// the client RetryPolicy (Backpressure + timeout retries), cluster lane
+// re-routing, and the ClusterClient's membership-epoch re-resolution loop.
+// One definition keeps the pacing behaviour identical everywhere — double
+// per attempt up to a cap, multiply by a uniform [0.5, 1.5) jitter factor,
+// and never undercut the server's explicit retry-after hint.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace portus {
+
+struct BackoffPolicy {
+  Duration base{500'000};      // first-retry delay (500 us)
+  Duration max{50'000'000};    // exponential cap (50 ms)
+};
+
+// Delay before retry number `attempt` (0-based). `floor_ns` is a server-side
+// pacing hint (e.g. Backpressure retry_after_ns) the result never undercuts.
+inline Duration jittered_backoff(const BackoffPolicy& policy, int attempt, Rng& jitter,
+                                 std::uint64_t floor_ns = 0) {
+  auto ns = policy.base.count();
+  for (int i = 0; i < attempt && ns < policy.max.count(); ++i) ns *= 2;
+  ns = std::min(ns, policy.max.count());
+  ns = static_cast<Duration::rep>(static_cast<double>(ns) * jitter.uniform_real(0.5, 1.5));
+  ns = std::max(ns, static_cast<Duration::rep>(floor_ns));
+  return Duration{ns};
+}
+
+}  // namespace portus

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/backoff.h"
 #include "common/logging.h"
 #include "common/strformat.h"
 
@@ -78,15 +79,11 @@ sim::SubTask<std::vector<std::byte>> PortusClient::roundtrip(std::vector<std::by
 }
 
 sim::SubTask<> PortusClient::backoff(int attempt, std::uint64_t retry_after_ns) {
-  auto ns = retry_.base_backoff.count();
-  for (int i = 0; i < attempt && ns < retry_.max_backoff.count(); ++i) ns *= 2;
-  ns = std::min(ns, retry_.max_backoff.count());
   // Jitter spreads a fleet of clients bounced by the same full queue so
   // they do not re-arrive in lockstep; the daemon's retry_after hint is a
   // floor, never a cap.
-  ns = static_cast<Duration::rep>(static_cast<double>(ns) * jitter_.uniform_real(0.5, 1.5));
-  ns = std::max(ns, static_cast<Duration::rep>(retry_after_ns));
-  const Duration wait{ns};
+  const BackoffPolicy policy{.base = retry_.base_backoff, .max = retry_.max_backoff};
+  const Duration wait = jittered_backoff(policy, attempt, jitter_, retry_after_ns);
   co_await cluster_.engine().sleep(wait);
 }
 
@@ -163,6 +160,7 @@ sim::SubTask<> PortusClient::register_shard(dnn::Model& model, ShardBinding bind
   msg.priority = tenant_.priority;
   msg.requested_capacity = tenant_.requested_capacity;
   msg.requested_rate = tenant_.requested_rate;
+  msg.membership_epoch = membership_epoch_;
 
   // Pin the bound tensors through PeerMem and register them with the RNIC.
   // The remote side needs READ (checkpoint pull) and WRITE (restore push).
@@ -202,6 +200,11 @@ sim::SubTask<> PortusClient::register_shard(dnn::Model& model, ShardBinding bind
   auto wire = encode(msg);
   const auto reply = co_await roundtrip(std::move(wire));
   const auto ack = decode_register_ack(reply);
+  if (ack.epoch_mismatch) {
+    throw EpochMismatch(strf("registration of {} rejected: stale membership epoch {} "
+                             "(daemon at {})",
+                             reg_name, membership_epoch_, ack.current_membership_epoch));
+  }
   PORTUS_CHECK(ack.ok, "registration rejected: " + ack.error);
   stats_.negotiated_stripes = ack.stripes;
   stats_.negotiated_max_sges = ack.max_sges;
@@ -224,11 +227,18 @@ sim::SubTask<std::uint64_t> PortusClient::checkpoint_named(std::string reg_name,
   // NOTE: temporaries are materialized into locals before co_await — GCC 12
   // miscompiles non-trivial temporaries inside co_await full-expressions
   // (double destruction after resumption).
-  CheckpointReqMsg req{
-      .model_name = std::move(reg_name), .iteration = iteration, .dirty_indices = {}};
+  CheckpointReqMsg req{.model_name = std::move(reg_name),
+                       .iteration = iteration,
+                       .dirty_indices = {},
+                       .membership_epoch = membership_epoch_};
   auto wire = encode(req);
   const auto reply = co_await retrying_roundtrip(std::move(wire));
   const auto done = decode_checkpoint_done(reply);
+  if (done.epoch_mismatch) {
+    throw EpochMismatch(strf("checkpoint of {} rejected: stale membership epoch {} "
+                             "(daemon at {})",
+                             done.model_name, membership_epoch_, done.current_epoch));
+  }
   PORTUS_CHECK(done.ok, "checkpoint failed: " + done.error);
   ++stats_.checkpoints;
   stats_.last_checkpoint = cluster_.engine().now() - t0;
@@ -241,10 +251,16 @@ sim::SubTask<std::uint64_t> PortusClient::checkpoint_incremental(
   const Time t0 = cluster_.engine().now();
   CheckpointReqMsg req{.model_name = model.name(),
                        .iteration = iteration,
-                       .dirty_indices = std::move(dirty_indices)};
+                       .dirty_indices = std::move(dirty_indices),
+                       .membership_epoch = membership_epoch_};
   auto wire = encode(req);
   const auto reply = co_await retrying_roundtrip(std::move(wire));
   const auto done = decode_checkpoint_done(reply);
+  if (done.epoch_mismatch) {
+    throw EpochMismatch(strf("checkpoint of {} rejected: stale membership epoch {} "
+                             "(daemon at {})",
+                             done.model_name, membership_epoch_, done.current_epoch));
+  }
   PORTUS_CHECK(done.ok, "checkpoint failed: " + done.error);
   ++stats_.checkpoints;
   stats_.last_checkpoint = cluster_.engine().now() - t0;
@@ -259,10 +275,17 @@ sim::SubTask<std::uint64_t> PortusClient::restore(dnn::Model& model) {
 sim::SubTask<std::uint64_t> PortusClient::restore_named(std::string reg_name,
                                                         std::uint64_t required_epoch) {
   const Time t0 = cluster_.engine().now();
-  RestoreReqMsg req{.model_name = std::move(reg_name), .required_epoch = required_epoch};
+  RestoreReqMsg req{.model_name = std::move(reg_name),
+                    .required_epoch = required_epoch,
+                    .membership_epoch = membership_epoch_};
   auto wire = encode(req);
   const auto reply = co_await retrying_roundtrip(std::move(wire));
   const auto done = decode_restore_done(reply);
+  if (done.epoch_mismatch) {
+    throw EpochMismatch(strf("restore of {} rejected: stale membership epoch {} "
+                             "(daemon at {})",
+                             done.model_name, membership_epoch_, done.current_epoch));
+  }
   PORTUS_CHECK(done.ok, "restore failed: " + done.error);
   ++stats_.restores;
   stats_.last_restore = cluster_.engine().now() - t0;

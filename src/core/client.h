@@ -147,6 +147,13 @@ class PortusClient {
   void set_tenant(TenantSpec t) { tenant_ = std::move(t); }
   const TenantSpec& tenant() const { return tenant_; }
 
+  // Membership epoch stamped into every request (protocol v6). 0 = not
+  // epoch-checked (standalone daemon / legacy ring). A daemon holding a
+  // newer epoch answers epoch_mismatch, surfaced here as EpochMismatch —
+  // the ClusterClient catches it, refetches placement, and re-routes.
+  void set_membership_epoch(std::uint64_t e) { membership_epoch_ = e; }
+  std::uint64_t membership_epoch() const { return membership_epoch_; }
+
   const Stats& stats() const { return stats_; }
   bool connected() const { return socket_ != nullptr && !socket_->closed(); }
   const std::string& endpoint() const { return endpoint_; }
@@ -182,6 +189,7 @@ class PortusClient {
   std::shared_ptr<bool> op_in_flight_ = std::make_shared<bool>(false);
   RetryPolicy retry_;
   TenantSpec tenant_;
+  std::uint64_t membership_epoch_ = 0;
   Rng jitter_{0x9E3779B97F4A7C15ull};
   Stats stats_;
 };

@@ -27,6 +27,8 @@ ClusterCtl::DaemonRow ClusterCtl::inspect(PortusDaemon& daemon) {
   }
   row.models = models.size();
 
+  row.membership_epoch = daemon.membership_epoch();
+
   const auto& s = daemon.stats();
   row.registrations = s.registrations;
   row.checkpoints = s.checkpoints;
@@ -46,22 +48,29 @@ ClusterCtl::DaemonRow ClusterCtl::inspect(PortusDaemon& daemon) {
 }
 
 std::string ClusterCtl::render_status(std::span<PortusDaemon* const> daemons,
-                                      const ClusterClient* client) {
+                                      const ClusterClient* client,
+                                      const Membership* membership) {
   // Column widths fit the widest cell (format_table): fixed widths sheared
   // the whole table once a fleet-scale counter outgrew its column.
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"DAEMON", "STATE", "SHARDS", "MODELS", "BYTES", "REGS", "CKPTS",
-                  "RSTRS", "FAILED", "PIPELINE", "COALESCE", "DOORBELL", "ARENAS"});
+  rows.push_back({"DAEMON", "STATE", "EPOCH", "MSTATE", "SHARDS", "MODELS", "BYTES",
+                  "REGS", "CKPTS", "RSTRS", "FAILED", "PIPELINE", "COALESCE", "DOORBELL",
+                  "ARENAS"});
   std::size_t copies = 0;
   Bytes bytes = 0;
   for (auto* d : daemons) {
     const auto row = inspect(*d);
     copies += row.shard_copies;
     bytes += row.stored_bytes;
-    rows.push_back({row.endpoint, row.up ? "up" : "DOWN", strf("{}", row.shard_copies),
-                    strf("{}", row.models), format_bytes(row.stored_bytes),
-                    format_count(row.registrations), format_count(row.checkpoints),
-                    format_count(row.restores), format_count(row.failed_ops),
+    const Member* member =
+        membership != nullptr ? membership->find(row.endpoint) : nullptr;
+    rows.push_back({row.endpoint, row.up ? "up" : "DOWN",
+                    row.membership_epoch != 0 ? strf("{}", row.membership_epoch) : "-",
+                    member != nullptr ? to_string(member->state) : "-",
+                    strf("{}", row.shard_copies), strf("{}", row.models),
+                    format_bytes(row.stored_bytes), format_count(row.registrations),
+                    format_count(row.checkpoints), format_count(row.restores),
+                    format_count(row.failed_ops),
                     strf("{:.2f}/{}", row.mean_window, row.peak_window),
                     strf("{}/{}", format_count(row.extents_coalesced),
                          format_count(row.wrs_posted)),
@@ -70,16 +79,22 @@ std::string ClusterCtl::render_status(std::span<PortusDaemon* const> daemons,
                     strf("{}x {} {}r", row.alloc_shards, format_bytes(row.alloc_live),
                          row.alloc_refills)});
   }
-  std::string out = format_table(rows, "<<>>>>>>>>>>>");
+  std::string out = format_table(rows, "<<><>>>>>>>>>>>");
   out += strf("total: {} daemons, {} shard copies, {}\n", daemons.size(), copies,
               format_bytes(bytes));
+  if (membership != nullptr) {
+    out += strf("membership: epoch {}, {} members ({} active)\n", membership->epoch,
+                membership->members.size(), membership->active_positions().size());
+  }
   if (client != nullptr) {
     const auto& cs = client->stats();
     out += strf(
         "client: {} checkpoints ({} degraded), {} restores ({} degraded), "
-        "{} shards re-routed, {} lane failures, epoch {}\n",
+        "{} shards re-routed, {} lane failures, {} epoch re-resolves, "
+        "{} lane revivals, epoch {}\n",
         cs.checkpoints, cs.degraded_checkpoints, cs.restores, cs.degraded_restores,
-        cs.rerouted_shards, cs.lane_failures, cs.last_epoch);
+        cs.rerouted_shards, cs.lane_failures, cs.epoch_reresolutions, cs.lane_revivals,
+        cs.last_epoch);
   }
   return out;
 }

@@ -22,6 +22,9 @@ class ClusterCtl {
   struct DaemonRow {
     std::string endpoint;
     bool up = false;
+    // Membership epoch the daemon currently serves (protocol v6); 0 =
+    // standalone / not epoch-checked.
+    std::uint64_t membership_epoch = 0;
     std::size_t shard_copies = 0;  // shard-scoped ModelTable entries
     std::size_t models = 0;        // distinct models with >= 1 copy here
     Bytes stored_bytes = 0;        // sum of copy slot sizes (one version each)
@@ -43,9 +46,12 @@ class ClusterCtl {
   // — their PMEM state outlives the sockets).
   static DaemonRow inspect(PortusDaemon& daemon);
 
-  // The `portusctl cluster-status` table. `client` may be null.
+  // The `portusctl cluster-status` table. `client` may be null. When a
+  // `membership` is given (elastic cluster), every row also shows the
+  // member's lifecycle state (JOINING/ACTIVE/DRAINING/DOWN).
   static std::string render_status(std::span<PortusDaemon* const> daemons,
-                                   const ClusterClient* client = nullptr);
+                                   const ClusterClient* client = nullptr,
+                                   const Membership* membership = nullptr);
 };
 
 }  // namespace portus::core::cluster

@@ -21,7 +21,9 @@ ShardManifest ShardManifest::from_plan(const Placement::Plan& plan,
   m.plan_digest = plan.digest();
   m.daemon_count = plan.daemon_count;
   m.replicas = plan.replicas;
+  m.shard_count = plan.shard_count != 0 ? plan.shard_count : plan.daemon_count;
   m.endpoints.assign(endpoints.begin(), endpoints.end());
+  m.member_states.assign(endpoints.size(), MemberState::kActive);
   m.tensors.reserve(tensor_names.size());
   for (std::size_t i = 0; i < tensor_names.size(); ++i) {
     m.tensors.push_back(
@@ -40,8 +42,14 @@ std::vector<std::byte> ShardManifest::encode() const {
   w.u64(plan_digest);
   w.u32(daemon_count);
   w.u32(replicas);
+  w.u64(membership_epoch);
+  w.u32(shard_count != 0 ? shard_count : daemon_count);
   w.u32(static_cast<std::uint32_t>(endpoints.size()));
   for (const auto& e : endpoints) w.str(e);
+  for (std::size_t i = 0; i < endpoints.size(); ++i) {
+    w.u8(i < member_states.size() ? static_cast<std::uint8_t>(member_states[i])
+                                  : static_cast<std::uint8_t>(MemberState::kActive));
+  }
   w.u32(static_cast<std::uint32_t>(tensors.size()));
   for (const auto& t : tensors) {
     w.str(t.name);
@@ -69,19 +77,44 @@ ShardManifest ShardManifest::decode(std::span<const std::byte> raw) {
 
   BinaryReader r{raw.first(raw.size() - 4)};
   if (r.u32() != kMagic) throw Corruption("shard manifest magic mismatch");
-  if (r.u16() != kVersion) throw Corruption("shard manifest version mismatch");
+  const auto version = r.u16();
+  if (version != 1 && version != kVersion) {
+    throw Corruption("shard manifest version mismatch");
+  }
   ShardManifest m;
   m.model_name = r.str();
   m.placement_epoch = r.u64();
   m.plan_digest = r.u64();
   m.daemon_count = r.u32();
   m.replicas = r.u32();
+  if (version >= 2) {
+    m.membership_epoch = r.u64();
+    m.shard_count = r.u32();
+  } else {
+    m.membership_epoch = 0;
+    m.shard_count = m.daemon_count;
+  }
+  if (m.shard_count == 0 || m.shard_count > 4096) {
+    throw Corruption("implausible shard count in shard manifest");
+  }
   const auto n_endpoints = r.u32();
   if (n_endpoints != m.daemon_count || n_endpoints > 4096) {
     throw Corruption("implausible endpoint list in shard manifest");
   }
   m.endpoints.resize(n_endpoints);
   for (auto& e : m.endpoints) e = r.str();
+  if (version >= 2) {
+    m.member_states.resize(n_endpoints);
+    for (auto& s : m.member_states) {
+      const auto v = r.u8();
+      if (v > static_cast<std::uint8_t>(MemberState::kDown)) {
+        throw Corruption("implausible member state in shard manifest");
+      }
+      s = static_cast<MemberState>(v);
+    }
+  } else {
+    m.member_states.assign(n_endpoints, MemberState::kActive);
+  }
   const auto n_tensors = r.u32();
   if (n_tensors > 1u << 20) throw Corruption("implausible tensor count in shard manifest");
   m.tensors.resize(n_tensors);
@@ -89,10 +122,10 @@ ShardManifest ShardManifest::decode(std::span<const std::byte> raw) {
     t.name = r.str();
     t.size = r.u64();
     t.shard = r.u32();
-    if (t.shard >= m.daemon_count) throw Corruption("manifest tensor maps to no shard");
+    if (t.shard >= m.shard_count) throw Corruption("manifest tensor maps to no shard");
   }
   const auto n_shards = r.u32();
-  if (n_shards != m.daemon_count) throw Corruption("manifest shard map size mismatch");
+  if (n_shards != m.shard_count) throw Corruption("manifest shard map size mismatch");
   m.shard_daemons.resize(n_shards);
   for (auto& copies : m.shard_daemons) {
     const auto n_copies = r.u32();

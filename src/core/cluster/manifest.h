@@ -10,10 +10,18 @@
 // Wire/PMEM layout (little-endian, CRC-framed like the other PMEM blobs):
 //   [u32 magic "PSMF"][u16 version]
 //   [str model_name][u64 placement_epoch][u64 plan_digest]
-//   [u32 daemon_count][u32 replicas][u32 endpoints...][str each endpoint]
+//   [u32 daemon_count][u32 replicas]
+//   v2: [u64 membership_epoch][u32 shard_count]
+//   [u32 endpoints...][str each endpoint]
+//   v2: [u8 member_state] x endpoints
 //   [u32 tensor_count][str name | u64 size | u32 shard]...
 //   [u32 shard_count][u32 copies | u32 daemon...]...
 //   [u32 crc over everything above]
+//
+// v2 (elastic clusters) adds the membership epoch + per-member lifecycle
+// states and decouples shard_count from daemon_count; decode() still
+// accepts v1 blobs (epoch 0, all members ACTIVE, one shard per daemon), so
+// images written before the elastic subsystem keep recovering.
 #pragma once
 
 #include <cstdint>
@@ -22,13 +30,14 @@
 #include <vector>
 
 #include "common/units.h"
+#include "core/cluster/membership.h"
 #include "core/cluster/placement.h"
 
 namespace portus::core::cluster {
 
 struct ShardManifest {
   static constexpr std::uint32_t kMagic = 0x464D5350;  // "PSMF"
-  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::uint16_t kVersion = 2;
 
   struct TensorEntry {
     std::string name;
@@ -39,9 +48,15 @@ struct ShardManifest {
   std::string model_name;
   std::uint64_t placement_epoch = 0;
   std::uint64_t plan_digest = 0;  // Placement::Plan::digest() at write time
-  std::uint32_t daemon_count = 0;
+  std::uint32_t daemon_count = 0;  // ring size at write time
   std::uint32_t replicas = 0;
-  std::vector<std::string> endpoints;  // the static ring, in order
+  // v2: membership generation this placement was computed against, and the
+  // lifecycle state of each ring position at write time (parallel to
+  // `endpoints`). A v1 blob decodes as epoch 0 with every member ACTIVE.
+  std::uint64_t membership_epoch = 0;
+  std::uint32_t shard_count = 0;  // shards the model is cut into (v1: = daemon_count)
+  std::vector<std::string> endpoints;  // the ring, in membership order
+  std::vector<MemberState> member_states;  // parallel to endpoints (v2)
   std::vector<TensorEntry> tensors;
   std::vector<std::vector<std::uint32_t>> shard_daemons;  // primary first
 

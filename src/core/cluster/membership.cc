@@ -1,0 +1,37 @@
+#include "core/cluster/membership.h"
+
+namespace portus::core::cluster {
+
+const char* to_string(MemberState s) {
+  switch (s) {
+    case MemberState::kJoining: return "JOINING";
+    case MemberState::kActive: return "ACTIVE";
+    case MemberState::kDraining: return "DRAINING";
+    case MemberState::kDown: return "DOWN";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> Membership::active_positions() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < members.size(); ++i) {
+    if (members[i].state == MemberState::kActive) out.push_back(i);
+  }
+  return out;
+}
+
+const Member* Membership::find(const std::string& endpoint) const {
+  for (const auto& m : members) {
+    if (m.endpoint == endpoint) return &m;
+  }
+  return nullptr;
+}
+
+Member* Membership::find(const std::string& endpoint) {
+  for (auto& m : members) {
+    if (m.endpoint == endpoint) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace portus::core::cluster

@@ -35,21 +35,44 @@ Placement::Plan Placement::compute(const std::string& model_name,
                                    std::uint32_t daemon_count, std::uint32_t replicas,
                                    std::uint64_t placement_epoch) {
   PORTUS_CHECK_ARG(daemon_count >= 1, "placement needs at least one daemon");
+  std::vector<std::uint32_t> all(daemon_count);
+  for (std::uint32_t i = 0; i < daemon_count; ++i) all[i] = i;
+  return compute_over(model_name, tensor_sizes, daemon_count, daemon_count, all,
+                      replicas, placement_epoch);
+}
+
+Placement::Plan Placement::compute_over(const std::string& model_name,
+                                        std::span<const Bytes> tensor_sizes,
+                                        std::uint32_t shard_count,
+                                        std::uint32_t ring_size,
+                                        std::span<const std::uint32_t> active,
+                                        std::uint32_t replicas,
+                                        std::uint64_t placement_epoch) {
+  PORTUS_CHECK_ARG(shard_count >= 1, "placement needs at least one shard");
+  PORTUS_CHECK_ARG(!active.empty(), "placement needs at least one active member");
   PORTUS_CHECK_ARG(!tensor_sizes.empty(), "placement over an empty model");
   PORTUS_CHECK_ARG(replicas >= 1, "replication factor must be >= 1");
-  replicas = std::min(replicas, daemon_count);
+  for (const auto pos : active) {
+    PORTUS_CHECK_ARG(pos < ring_size, "active member position outside the ring");
+  }
+  const auto targets = static_cast<std::uint32_t>(active.size());
+  replicas = std::min(replicas, targets);
 
   Plan plan;
   plan.model_name = model_name;
   plan.placement_epoch = placement_epoch;
-  plan.daemon_count = daemon_count;
+  plan.daemon_count = ring_size;
+  plan.shard_count = shard_count;
   plan.replicas = replicas;
-  plan.shard_tensors.resize(daemon_count);
-  plan.shard_bytes.assign(daemon_count, 0);
+  plan.shard_tensors.resize(shard_count);
+  plan.shard_bytes.assign(shard_count, 0);
   plan.tensor_shard.resize(tensor_sizes.size());
 
   // LPT bin packing: largest tensor first, into the lightest shard; ties
   // break on the lower shard id so the order is total and deterministic.
+  // Depends only on (sizes, shard_count): a shard's tensor set is stable
+  // across membership epochs, so migration moves whole shard copies and
+  // never re-cuts a model.
   std::vector<std::uint32_t> order(tensor_sizes.size());
   for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
@@ -57,7 +80,7 @@ Placement::Plan Placement::compute(const std::string& model_name,
   });
   for (const auto t : order) {
     std::uint32_t best = 0;
-    for (std::uint32_t s = 1; s < daemon_count; ++s) {
+    for (std::uint32_t s = 1; s < shard_count; ++s) {
       if (plan.shard_bytes[s] < plan.shard_bytes[best]) best = s;
     }
     plan.tensor_shard[t] = best;
@@ -67,16 +90,16 @@ Placement::Plan Placement::compute(const std::string& model_name,
     plan.shard_tensors[plan.tensor_shard[t]].push_back(t);
   }
 
-  // Ring walk: shard k's primary at rot+k, replicas on the next R-1
-  // positions. The rotation spreads different models (and re-placements
-  // after a ring-epoch bump) across the ring.
+  // Ring walk over the *active* members: shard k's primary at the
+  // (rot+k)-th active position, replicas on the next R-1. The rotation
+  // spreads different models (and re-placements after a ring-epoch bump)
+  // across the ring.
   const auto rot = static_cast<std::uint32_t>(
-      hash_u64(hash_str(0xcbf29ce484222325ull, model_name), placement_epoch) %
-      daemon_count);
-  plan.shard_daemons.resize(daemon_count);
-  for (std::uint32_t s = 0; s < daemon_count; ++s) {
+      hash_u64(hash_str(0xcbf29ce484222325ull, model_name), placement_epoch) % targets);
+  plan.shard_daemons.resize(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
     for (std::uint32_t r = 0; r < replicas; ++r) {
-      plan.shard_daemons[s].push_back((rot + s + r) % daemon_count);
+      plan.shard_daemons[s].push_back(active[(rot + s + r) % targets]);
     }
   }
   return plan;
@@ -86,6 +109,7 @@ std::uint64_t Placement::Plan::digest() const {
   std::uint64_t h = hash_str(0xcbf29ce484222325ull, model_name);
   h = hash_u64(h, placement_epoch);
   h = hash_u64(h, daemon_count);
+  h = hash_u64(h, shard_count);
   h = hash_u64(h, replicas);
   for (const auto s : tensor_shard) h = hash_u64(h, s);
   for (const auto& daemons : shard_daemons) {

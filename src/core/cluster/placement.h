@@ -29,7 +29,13 @@ struct Placement {
   struct Plan {
     std::string model_name;
     std::uint64_t placement_epoch = 0;
-    std::uint32_t daemon_count = 0;
+    std::uint32_t daemon_count = 0;  // ring size (member positions)
+    // Number of shards the model is cut into. The classic compute() uses
+    // one shard per daemon; an elastic cluster fixes this at registration
+    // (e.g. 8) so the same shards can be re-homed as the ring resizes
+    // without re-cutting the model (a shard's tensor set is a pure function
+    // of (sizes, shard_count), so it survives every membership epoch).
+    std::uint32_t shard_count = 0;
     std::uint32_t replicas = 0;
     // tensor index -> owning shard id.
     std::vector<std::uint32_t> tensor_shard;
@@ -53,6 +59,19 @@ struct Placement {
   static Plan compute(const std::string& model_name, std::span<const Bytes> tensor_sizes,
                       std::uint32_t daemon_count, std::uint32_t replicas,
                       std::uint64_t placement_epoch);
+
+  // Elastic generalization: place `shard_count` shards over the subset of a
+  // `ring_size`-position ring listed in `active` (ascending ring positions,
+  // e.g. Membership::active_positions()). Shard k's copies land on
+  // active[(rot + k + r) % active.size()] — values in shard_daemons are
+  // *ring* positions, so they stay meaningful as members join and drain.
+  // compute() is exactly compute_over() with shard_count = ring_size and
+  // every position active.
+  static Plan compute_over(const std::string& model_name,
+                           std::span<const Bytes> tensor_sizes,
+                           std::uint32_t shard_count, std::uint32_t ring_size,
+                           std::span<const std::uint32_t> active, std::uint32_t replicas,
+                           std::uint64_t placement_epoch);
 
   // 64-bit FNV-1a (the ring-rotation and digest hash).
   static std::uint64_t fnv1a(std::span<const std::byte> data,

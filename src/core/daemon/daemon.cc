@@ -197,6 +197,22 @@ sim::Process PortusDaemon::session_loop(std::shared_ptr<net::TcpSocket> socket) 
 }
 
 sim::SubTask<RegisterAckMsg> PortusDaemon::handle_register(RegisterModelMsg msg) {
+  // Membership-epoch gate (protocol v6): a registration placed against a
+  // stale epoch would pin shard copies to a superseded ring — bounce it
+  // before any layout so the client re-resolves first. Epoch 0 on either
+  // side means "not epoch-checked" (standalone daemon / legacy client).
+  if (msg.membership_epoch != 0 && membership_epoch_ != 0 &&
+      msg.membership_epoch != membership_epoch_) {
+    ++stats_.epoch_rejects;
+    RegisterAckMsg ack;
+    ack.ok = false;
+    ack.epoch_mismatch = true;
+    ack.current_membership_epoch = membership_epoch_;
+    ack.error = strf("stale membership epoch {} (current {})", msg.membership_epoch,
+                     membership_epoch_);
+    co_return ack;
+  }
+
   co_await workers_->acquire();
   RegisterAckMsg ack;
   try {
@@ -299,6 +315,22 @@ sim::SubTask<CheckpointDoneMsg> PortusDaemon::handle_checkpoint(CheckpointReqMsg
   // without ever touching the worker pool. Unregistered models fall through
   // untenanted and fail the session lookup below like before. Restores are
   // deliberately unthrottled: they are the recovery path.
+  // Membership-epoch gate (protocol v6), checked before admission so a
+  // stale client cannot consume a ticket. No checkpoint is taken; the
+  // client re-resolves placement and reissues.
+  if (msg.membership_epoch != 0 && membership_epoch_ != 0 &&
+      msg.membership_epoch != membership_epoch_) {
+    ++stats_.epoch_rejects;
+    CheckpointDoneMsg done;
+    done.model_name = msg.model_name;
+    done.ok = false;
+    done.epoch_mismatch = true;
+    done.current_epoch = membership_epoch_;
+    done.error = strf("stale membership epoch {} (current {})", msg.membership_epoch,
+                      membership_epoch_);
+    co_return done;
+  }
+
   AdmissionController::Ticket ticket;
   if (admission_ != nullptr) {
     const auto it = sessions_.find(msg.model_name);
@@ -445,6 +477,21 @@ sim::SubTask<CheckpointDoneMsg> PortusDaemon::handle_checkpoint(CheckpointReqMsg
 }
 
 sim::SubTask<RestoreDoneMsg> PortusDaemon::handle_restore(RestoreReqMsg msg) {
+  // Membership-epoch gate (protocol v6): a stale client may be about to
+  // restore from a copy that migrated away; make it re-resolve first.
+  if (msg.membership_epoch != 0 && membership_epoch_ != 0 &&
+      msg.membership_epoch != membership_epoch_) {
+    ++stats_.epoch_rejects;
+    RestoreDoneMsg done;
+    done.model_name = msg.model_name;
+    done.ok = false;
+    done.epoch_mismatch = true;
+    done.current_epoch = membership_epoch_;
+    done.error = strf("stale membership epoch {} (current {})", msg.membership_epoch,
+                      membership_epoch_);
+    co_return done;
+  }
+
   co_await workers_->acquire();
   auto trace_span = config_.tracer != nullptr
                         ? config_.tracer->span("restore " + msg.model_name, "portusd")

@@ -115,6 +115,10 @@ class PortusDaemon {
     // queue full). Deliberately NOT counted as failed_ops: the client
     // retries and the op is expected to land.
     std::uint64_t backpressure_rejects = 0;
+    // Ops bounced with a retryable EpochMismatch answer (the request's
+    // membership epoch was stale, protocol v6). Not failed_ops either: the
+    // client re-resolves placement and reissues.
+    std::uint64_t epoch_rejects = 0;
     Bytes bytes_pulled = 0;
     Bytes bytes_pushed = 0;
     // --- pipelined datapath observability ---
@@ -204,6 +208,14 @@ class PortusDaemon {
     if (admission_ != nullptr) admission_->resume();
   }
 
+  // Cluster membership epoch this daemon currently serves (protocol v6).
+  // 0 = standalone / not epoch-checked: requests are never bounced. The
+  // elastic controller (core/cluster/migration.h) pushes each bump; any
+  // request stamped with a different non-zero epoch is answered with
+  // epoch_mismatch so the client re-resolves placement first.
+  void set_membership_epoch(std::uint64_t e) { membership_epoch_ = e; }
+  std::uint64_t membership_epoch() const { return membership_epoch_; }
+
   // Models whose training job sent FINISH_JOB (repacker input).
   const std::set<std::string>& finished_models() const { return finished_; }
 
@@ -253,6 +265,7 @@ class PortusDaemon {
   std::set<std::string> finished_;
   std::vector<std::weak_ptr<net::TcpSocket>> client_sockets_;  // kill() targets
   Stats stats_;
+  std::uint64_t membership_epoch_ = 0;
   bool started_ = false;
   bool killed_ = false;
   bool hung_ = false;  // kHang: reachable but mute

@@ -72,6 +72,7 @@ std::vector<std::byte> encode(const RegisterModelMsg& m) {
   w.u8(m.priority);
   w.u64(m.requested_capacity);
   w.u64(m.requested_rate);
+  w.u64(m.membership_epoch);
   w.u32(static_cast<std::uint32_t>(m.tensors.size()));
   for (const auto& t : m.tensors) {
     w.str(t.name);
@@ -116,6 +117,7 @@ RegisterModelMsg decode_register_model(std::span<const std::byte> wire) {
   if (m.priority > 2) throw Corruption("implausible priority class in registration");
   m.requested_capacity = r.u64();
   m.requested_rate = r.u64();
+  m.membership_epoch = r.u64();
   const auto count = r.u32();
   if (count > 1u << 20) throw Corruption("implausible tensor count in registration");
   m.tensors.reserve(count);
@@ -146,6 +148,8 @@ std::vector<std::byte> encode(const RegisterAckMsg& m) {
   w.u64(m.granted_capacity);
   w.u64(m.granted_rate);
   w.u32(m.granted_wr_slots);
+  w.u8(m.epoch_mismatch ? 1 : 0);
+  w.u64(m.current_membership_epoch);
   return w.take();
 }
 
@@ -164,6 +168,8 @@ RegisterAckMsg decode_register_ack(std::span<const std::byte> wire) {
   m.granted_capacity = r.u64();
   m.granted_rate = r.u64();
   m.granted_wr_slots = r.u32();
+  m.epoch_mismatch = r.u8() != 0;
+  m.current_membership_epoch = r.u64();
   return m;
 }
 
@@ -174,6 +180,7 @@ std::vector<std::byte> encode(const CheckpointReqMsg& m) {
   w.u64(m.iteration);
   w.u32(static_cast<std::uint32_t>(m.dirty_indices.size()));
   for (const auto i : m.dirty_indices) w.u32(i);
+  w.u64(m.membership_epoch);
   return w.take();
 }
 
@@ -186,6 +193,7 @@ CheckpointReqMsg decode_checkpoint_req(std::span<const std::byte> wire) {
   if (n > 1u << 20) throw Corruption("implausible dirty-set size");
   m.dirty_indices.resize(n);
   for (auto& i : m.dirty_indices) i = r.u32();
+  m.membership_epoch = r.u64();
   return m;
 }
 
@@ -198,6 +206,8 @@ std::vector<std::byte> encode(const CheckpointDoneMsg& m) {
   w.u32(m.payload_crc);
   w.u8(m.backpressure ? 1 : 0);
   w.u64(m.retry_after_ns);
+  w.u8(m.epoch_mismatch ? 1 : 0);
+  w.u64(m.current_epoch);
   return w.take();
 }
 
@@ -211,6 +221,8 @@ CheckpointDoneMsg decode_checkpoint_done(std::span<const std::byte> wire) {
   m.payload_crc = r.u32();
   m.backpressure = r.u8() != 0;
   m.retry_after_ns = r.u64();
+  m.epoch_mismatch = r.u8() != 0;
+  m.current_epoch = r.u64();
   return m;
 }
 
@@ -219,6 +231,7 @@ std::vector<std::byte> encode(const RestoreReqMsg& m) {
   w.u8(static_cast<std::uint8_t>(MsgType::kRestoreReq));
   w.str(m.model_name);
   w.u64(m.required_epoch);
+  w.u64(m.membership_epoch);
   return w.take();
 }
 
@@ -227,6 +240,7 @@ RestoreReqMsg decode_restore_req(std::span<const std::byte> wire) {
   RestoreReqMsg m;
   m.model_name = r.str();
   m.required_epoch = r.u64();
+  m.membership_epoch = r.u64();
   return m;
 }
 
@@ -239,6 +253,8 @@ std::vector<std::byte> encode(const RestoreDoneMsg& m) {
   w.u32(m.payload_crc);
   w.u8(m.backpressure ? 1 : 0);
   w.u64(m.retry_after_ns);
+  w.u8(m.epoch_mismatch ? 1 : 0);
+  w.u64(m.current_epoch);
   return w.take();
 }
 
@@ -252,6 +268,8 @@ RestoreDoneMsg decode_restore_done(std::span<const std::byte> wire) {
   m.payload_crc = r.u32();
   m.backpressure = r.u8() != 0;
   m.retry_after_ns = r.u64();
+  m.epoch_mismatch = r.u8() != 0;
+  m.current_epoch = r.u64();
   return m;
 }
 

@@ -40,7 +40,11 @@ inline constexpr std::uint32_t kProtocolMagic = 0x50545553;  // "PTUS"
 //     priority class and requested quotas, the ack answers with the granted
 //     quota, and the Done messages can flag a retryable Backpressure
 //     rejection with a pacing hint.
-inline constexpr std::uint16_t kProtocolVersion = 5;
+// v6: cluster membership epochs — requests carry the membership epoch the
+//     client placed against (0 = not epoch-checked), and the ack/Done
+//     messages can answer with an EpochMismatch rejection carrying the
+//     daemon's current epoch so the client re-resolves placement.
+inline constexpr std::uint16_t kProtocolVersion = 6;
 
 enum class MsgType : std::uint8_t {
   kRegisterModel = 1,
@@ -70,6 +74,16 @@ class ProtocolMismatch : public Error {
 // and reissues. Carried on the wire as the Done messages' backpressure flag
 // rather than as a dropped connection.
 class Backpressure : public Error {
+ public:
+  using Error::Error;
+};
+
+// The daemon refused an operation because the request's membership epoch is
+// stale (the cluster resized since the client last resolved placement).
+// Retryable by design: the ClusterClient refetches membership, recomputes
+// placement, re-routes, and reissues — see cluster_client.h. Carried on the
+// wire as the ack/Done messages' epoch_mismatch flag (v6).
+class EpochMismatch : public Error {
  public:
   using Error::Error;
 };
@@ -115,6 +129,11 @@ struct RegisterModelMsg {
   std::uint8_t priority = 1;       // 0 = high, 1 = normal, 2 = batch
   Bytes requested_capacity = 0;    // PMEM bytes wanted (0 = policy default)
   Bytes requested_rate = 0;        // pacing bytes/sec wanted (0 = default)
+  // --- elasticity (v6): the membership epoch the client placed against.
+  // 0 = not epoch-checked (standalone client or legacy ring); a daemon with
+  // a non-zero epoch of its own rejects a non-zero stale value with
+  // epoch_mismatch so the client re-resolves before registering.
+  std::uint64_t membership_epoch = 0;
   std::vector<TensorDesc> tensors;
 
   bool sharded() const { return shard_count > 1 || replica_count > 1; }
@@ -143,6 +162,10 @@ struct RegisterAckMsg {
   Bytes granted_capacity = 0;
   Bytes granted_rate = 0;
   std::uint32_t granted_wr_slots = 0;  // in-flight checkpoint admissions
+  // v6 elasticity: ok=false with epoch_mismatch=true means the client's
+  // membership epoch is stale; current_membership_epoch is the daemon's.
+  bool epoch_mismatch = false;
+  std::uint64_t current_membership_epoch = 0;
 };
 
 struct CheckpointReqMsg {
@@ -153,6 +176,8 @@ struct CheckpointReqMsg {
   // pulls them over RDMA and copies the rest PMEM-locally from the last DONE
   // slot. Empty = full checkpoint.
   std::vector<std::uint32_t> dirty_indices;
+  // v6 elasticity: see RegisterModelMsg::membership_epoch.
+  std::uint64_t membership_epoch = 0;
 };
 
 struct CheckpointDoneMsg {
@@ -168,6 +193,11 @@ struct CheckpointDoneMsg {
   // queue was full — retry after backing off at least retry_after_ns.
   bool backpressure = false;
   std::uint64_t retry_after_ns = 0;
+  // v6 elasticity: ok=false with epoch_mismatch=true means the request's
+  // membership epoch is stale; current_epoch is the daemon's. The client
+  // re-resolves placement and reissues (no checkpoint was taken).
+  bool epoch_mismatch = false;
+  std::uint64_t current_epoch = 0;
 };
 
 struct RestoreReqMsg {
@@ -177,6 +207,8 @@ struct RestoreReqMsg {
   // replica that missed the last checkpoint must not silently hand out
   // stale tensors. 0 = newest available.
   std::uint64_t required_epoch = 0;
+  // v6 elasticity: see RegisterModelMsg::membership_epoch.
+  std::uint64_t membership_epoch = 0;
 };
 
 struct RestoreDoneMsg {
@@ -191,6 +223,9 @@ struct RestoreDoneMsg {
   // v5 admission control (see CheckpointDoneMsg).
   bool backpressure = false;
   std::uint64_t retry_after_ns = 0;
+  // v6 elasticity (see CheckpointDoneMsg).
+  bool epoch_mismatch = false;
+  std::uint64_t current_epoch = 0;
 };
 
 struct FinishJobMsg {

@@ -25,7 +25,10 @@ Node& Cluster::node(const std::string& name) {
 
 TcpListener& Cluster::listen(const std::string& endpoint) {
   auto [it, inserted] = listeners_.try_emplace(endpoint, nullptr);
-  PORTUS_CHECK_ARG(inserted, "endpoint already bound: " + endpoint);
+  if (!inserted) {
+    PORTUS_CHECK_ARG(it->second->closed(), "endpoint already bound: " + endpoint);
+    retired_listeners_.push_back(std::move(it->second));
+  }
   it->second = std::make_unique<TcpListener>(engine_);
   return *it->second;
 }

@@ -45,7 +45,10 @@ class Cluster {
   Node& node(const std::string& name);
   std::size_t node_count() const { return nodes_.size(); }
 
-  // Control-plane endpoints ("portusd" on the storage node, etc.).
+  // Control-plane endpoints ("portusd" on the storage node, etc.). A name
+  // whose previous listener has been close()d may be re-bound (a restarted
+  // daemon re-listening on its old endpoint); binding a live endpoint twice
+  // is still an error.
   TcpListener& listen(const std::string& endpoint);
   TcpListener& endpoint(const std::string& name);
 
@@ -67,6 +70,10 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<std::string, Node*> by_name_;
   std::unordered_map<std::string, std::unique_ptr<TcpListener>> listeners_;
+  // Closed listeners displaced by a re-bind. Kept alive (not destroyed)
+  // because the old daemon's accept loop may still be suspended on the old
+  // backlog; it wakes with Disconnected on the next engine step.
+  std::vector<std::unique_ptr<TcpListener>> retired_listeners_;
 };
 
 }  // namespace portus::net

@@ -61,6 +61,7 @@ class TcpListener {
   sim::SubTask<std::shared_ptr<TcpSocket>> connect();
   auto accept() { return backlog_.recv(); }
   void close() { backlog_.close(); }
+  bool closed() const { return backlog_.closed(); }
 
  private:
   sim::Engine& engine_;

@@ -21,6 +21,7 @@
 #include "core/client.h"
 #include "core/cluster/cluster_client.h"
 #include "core/cluster/cluster_ctl.h"
+#include "core/cluster/migration.h"
 #include "core/daemon/daemon.h"
 #include "core/fleet/fleet_gen.h"
 #include "core/portusctl.h"
@@ -305,6 +306,89 @@ int cmd_cluster_demo(const std::string& image_prefix) {
   return 0;
 }
 
+// Elastic-resize walkthrough: a 2-member ring under continuous checkpoints
+// grows by one daemon (`join`), optionally streams a member empty (`drain`)
+// and retires it (`decommission`) — each step a live migration behind a
+// membership-epoch bump, with zero failed client ops and a bit-exact
+// restore at the end. `op` selects how far down the lifecycle to run.
+int cmd_cluster(const std::string& op) {
+  using namespace std::chrono_literals;
+  const int depth = op == "join" ? 1 : op == "drain" ? 2 : op == "decommission" ? 3 : 0;
+  if (depth == 0) {
+    std::cerr << "unknown cluster op: " << op << "\n";
+    return 2;
+  }
+
+  ClusterWorld w{3, /*start=*/true};
+  auto& volta = w.cluster->node("client-volta");
+  dnn::ModelZoo::Options opt;
+  opt.scale = 0.05;
+  auto model = dnn::ModelZoo::create(volta.gpu(0), "resnet50", opt);
+
+  core::cluster::ElasticCluster ec{w.engine};
+  ec.add_member("portusd0", *w.daemons[0]);
+  ec.add_member("portusd1", *w.daemons[1]);
+  ec.seal();
+
+  core::cluster::ClusterClient::Config ccfg;
+  ccfg.replicas = 2;
+  ccfg.shard_count = 8;  // fixed cut, so shards spread over late joiners
+  ccfg.membership = &ec;
+  ccfg.op_timeout = 50ms;
+  core::cluster::ClusterClient client{*w.cluster, volta, volta.gpu(0), w.rendezvous, ccfg};
+
+  bool ok = false;
+  w.engine.spawn([](ClusterWorld& w, core::cluster::ElasticCluster& ec,
+                    core::cluster::ClusterClient& c, dnn::Model& m, int depth,
+                    bool& done) -> sim::Process {
+    co_await c.register_model(m);
+    std::uint64_t iter = 0;
+    for (int k = 0; k < 2; ++k) {
+      m.mutate_weights(++iter);
+      co_await c.checkpoint(iter);
+    }
+
+    co_await ec.join("portusd2", *w.daemons[2]);
+    std::cout << strf("joined portusd2 (epoch {})\n", ec.membership().epoch);
+    m.mutate_weights(++iter);
+    co_await c.checkpoint(iter);
+
+    if (depth >= 2) {
+      co_await ec.drain("portusd0");
+      std::cout << strf("drained portusd0 (epoch {})\n", ec.membership().epoch);
+      m.mutate_weights(++iter);
+      co_await c.checkpoint(iter);
+    }
+    if (depth >= 3) {
+      ec.decommission("portusd0");
+      std::cout << strf("decommissioned portusd0 (epoch {})\n", ec.membership().epoch);
+      m.mutate_weights(++iter);
+      co_await c.checkpoint(iter);
+    }
+
+    const auto crc = m.weights_crc();
+    m.mutate_weights(9999);  // diverge, then pull the last epoch back
+    const auto rr = co_await c.restore();
+    std::cout << strf("restore: epoch {}, degraded={}\n", rr.epoch,
+                      rr.degraded ? "yes" : "no");
+    if (m.weights_crc() != crc) throw Error("restore mismatch after resize");
+    done = true;
+  }(w, ec, client, model, depth, ok));
+  w.engine.run();
+  if (!ok) {
+    std::cerr << "elastic walkthrough failed\n";
+    return 1;
+  }
+
+  const auto& ms = ec.stats();
+  std::cout << strf("\nmigration: {} copies moved ({}), {} epoch bumps, {} barriers\n",
+                    ms.copies_moved, format_bytes(ms.bytes_streamed), ms.epoch_bumps,
+                    ms.barriers);
+  const auto ptrs = w.daemon_ptrs();
+  std::cout << core::cluster::ClusterCtl::render_status(ptrs, &client, &ec.membership());
+  return 0;
+}
+
 // Aggregate the fleet view from per-daemon images (cluster-demo's output).
 int cmd_cluster_status(const std::vector<std::string>& images) {
   ClusterWorld w{static_cast<int>(images.size()), /*start=*/false};
@@ -330,7 +414,8 @@ int usage() {
                "  portusctl fsck   IMAGE [--verify-only]\n"
                "  portusctl tenants\n"
                "  portusctl cluster-demo   IMAGE_PREFIX\n"
-               "  portusctl cluster-status IMAGE...\n";
+               "  portusctl cluster-status IMAGE...\n"
+               "  portusctl cluster join|drain|decommission\n";
   return 2;
 }
 
@@ -356,6 +441,7 @@ int main(int argc, char** argv) {
       const bool verify_only = argc > 3 && std::string{argv[3]} == "--verify-only";
       return cmd_fsck(image, verify_only);
     }
+    if (cmd == "cluster") return cmd_cluster(image);  // argv[2] = join|drain|...
     if (cmd == "cluster-demo") return cmd_cluster_demo(image);
     if (cmd == "cluster-status") {
       return cmd_cluster_status(std::vector<std::string>(argv + 2, argv + argc));
